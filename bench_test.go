@@ -1,0 +1,240 @@
+package lcasgd_test
+
+// One benchmark per table and figure of the paper's evaluation section
+// (DESIGN.md experiment index), plus ablation benches for the design
+// choices DESIGN.md calls out. Each benchmark regenerates its artifact on
+// the quick CPU-budget profile and prints the same rows/series the paper
+// reports; run cmd/lcexp -full for the paper-scale versions.
+//
+// The experiment runs take seconds each, so the testing framework settles
+// at b.N == 1; the printed artifact plus the reported metrics are the
+// output that matters.
+
+import (
+	"fmt"
+	"testing"
+
+	"lcasgd/internal/core"
+	"lcasgd/internal/ps"
+	"lcasgd/internal/trainer"
+)
+
+const benchSeed = 7
+
+// benchProfile trims the quick profile so the full bench suite stays
+// within a reasonable wall-clock budget.
+func benchProfile() trainer.Profile {
+	p := trainer.QuickCIFAR()
+	p.Epochs = 8
+	return p
+}
+
+func benchImageNet() trainer.Profile {
+	p := trainer.QuickImageNet()
+	p.Epochs = 6
+	return p
+}
+
+// BenchmarkFig2DCASGDDegradation regenerates Figure 2: DC-ASGD's test
+// error rises with the number of workers while SGD stays put.
+func BenchmarkFig2DCASGDDegradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs := trainer.Fig2(benchProfile(), benchSeed)
+		fmt.Println(cs.ChartEpochs(72, 14))
+		sgd := cs.Results[ps.SGD].FinalTestErr
+		dc16 := cs.Results["DC-ASGD-16"].FinalTestErr
+		b.ReportMetric(sgd*100, "SGD-testerr%")
+		b.ReportMetric(dc16*100, "DC16-testerr%")
+	}
+}
+
+// BenchmarkFig3ErrorVsEpochCIFAR regenerates one Figure 3 panel: all five
+// algorithms vs epoch on the CIFAR-scale task (M=4 shown; cmd/lcexp
+// produces all panels).
+func BenchmarkFig3ErrorVsEpochCIFAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs := trainer.Fig3Panel(benchProfile(), 4, benchSeed)
+		fmt.Println(cs.ChartEpochs(72, 14))
+		b.ReportMetric(cs.Results[ps.LCASGD].FinalTestErr*100, "LC-testerr%")
+		b.ReportMetric(cs.Results[ps.ASGD].FinalTestErr*100, "ASGD-testerr%")
+	}
+}
+
+// BenchmarkFig4ErrorVsTimeCIFAR regenerates one Figure 4 panel: the same
+// comparison against virtual wall-clock time (M=16, where the speed
+// separation is widest).
+func BenchmarkFig4ErrorVsTimeCIFAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs := trainer.Fig3Panel(benchProfile(), 16, benchSeed)
+		fmt.Println(cs.ChartTime(72, 14))
+		ssgd := cs.Results[ps.SSGD].VirtualMs
+		asgd := cs.Results[ps.ASGD].VirtualMs
+		b.ReportMetric(ssgd/asgd, "SSGD/ASGD-time")
+		b.ReportMetric(cs.Results[ps.LCASGD].VirtualMs/asgd, "LC/ASGD-time")
+	}
+}
+
+// BenchmarkFig5ErrorVsEpochImageNet regenerates one Figure 5 panel on the
+// ImageNet-scale profile (no sequential SGD, as in the paper).
+func BenchmarkFig5ErrorVsEpochImageNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs := trainer.Fig5Panel(benchImageNet(), 4, benchSeed)
+		fmt.Println(cs.ChartEpochs(72, 14))
+		b.ReportMetric(cs.Results[ps.LCASGD].FinalTestErr*100, "LC-testerr%")
+	}
+}
+
+// BenchmarkFig6ErrorVsTimeImageNet regenerates one Figure 6 panel.
+func BenchmarkFig6ErrorVsTimeImageNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs := trainer.Fig5Panel(benchImageNet(), 16, benchSeed)
+		fmt.Println(cs.ChartTime(72, 14))
+		b.ReportMetric(cs.Results[ps.ASGD].VirtualMs/1000, "ASGD-vsec")
+		b.ReportMetric(cs.Results[ps.SSGD].VirtualMs/1000, "SSGD-vsec")
+	}
+}
+
+// BenchmarkFig7LossPredictorTrace regenerates Figure 7: predicted vs
+// actual loss during an M=16 LC-ASGD run.
+func BenchmarkFig7LossPredictorTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lossChart, _, res := trainer.PredictorTraces(benchProfile(), benchSeed)
+		fmt.Println(lossChart)
+		b.ReportMetric(trainer.TraceMAE(res.LossTrace), "loss-MAE")
+	}
+}
+
+// BenchmarkFig8StepPredictorTrace regenerates Figure 8: predicted vs
+// observed staleness during the same setting.
+func BenchmarkFig8StepPredictorTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, stepChart, res := trainer.PredictorTraces(benchProfile(), benchSeed)
+		fmt.Println(stepChart)
+		b.ReportMetric(trainer.TraceMAE(res.StepTrace), "step-MAE")
+		b.ReportMetric(res.MeanStaleness, "mean-staleness")
+	}
+}
+
+// BenchmarkTable1FinalErrorGrid regenerates Table 1 for the CIFAR-scale
+// profile: final test error for every (M, algorithm) under BN and
+// Async-BN. (The ImageNet half is in BenchmarkTable1ImageNetGrid; both are
+// single-seed here — use cmd/lcexp -seeds 3 for averaged numbers.)
+func BenchmarkTable1FinalErrorGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchProfile()
+		rows, b1, b2 := trainer.Table1(p, true, []uint64{benchSeed})
+		fmt.Println(trainer.RenderTable1(p, rows, b1, b2))
+		// Headline: LC-ASGD's worst-case (M=16) Async-BN degradation.
+		for _, r := range rows {
+			if r.Workers == 16 && r.Algo == ps.LCASGD {
+				b.ReportMetric((r.AsyncErr-b2)/b2*100, "LC16-deg%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1ImageNetGrid is Table 1's ImageNet half (SSGD M=4 is the
+// baseline, as in the paper).
+func BenchmarkTable1ImageNetGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchImageNet()
+		rows, b1, b2 := trainer.Table1(p, false, []uint64{benchSeed})
+		fmt.Println(trainer.RenderTable1(p, rows, b1, b2))
+		for _, r := range rows {
+			if r.Workers == 16 && r.Algo == ps.LCASGD {
+				b.ReportMetric((r.AsyncErr-b2)/b2*100, "LC16-deg%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2PredictorOverheadCIFAR regenerates Table 2: per-iteration
+// predictor cost (real measured LSTM times over the virtual iteration).
+func BenchmarkTable2PredictorOverheadCIFAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchProfile()
+		rows := trainer.OverheadTable(p, benchSeed)
+		fmt.Println(trainer.RenderOverhead(p, rows))
+		b.ReportMetric(rows[len(rows)-1].OverheadPct, "overhead%@16")
+	}
+}
+
+// BenchmarkTable3PredictorOverheadImageNet regenerates Table 3.
+func BenchmarkTable3PredictorOverheadImageNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchImageNet()
+		rows := trainer.OverheadTable(p, benchSeed)
+		fmt.Println(trainer.RenderOverhead(p, rows))
+		b.ReportMetric(rows[len(rows)-1].OverheadPct, "overhead%@16")
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationLambda compares LC-ASGD with compensation on vs off at
+// M=16; λ=0 reduces LC-ASGD to ASGD-plus-Async-BN on the LC timeline.
+func BenchmarkAblationLambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchProfile()
+		on := trainer.RunCell(p, ps.LCASGD, 16, core.BNAsync, benchSeed)
+		off := trainer.RunCellCfg(p, ps.LCASGD, 16, core.BNAsync, benchSeed, func(c *ps.Config) { c.Lambda = 0 })
+		fmt.Printf("ablation lambda: λ=1 test %.2f%%  λ=0 test %.2f%%\n",
+			on.FinalTestErr*100, off.FinalTestErr*100)
+		b.ReportMetric(on.FinalTestErr*100, "lambda1-testerr%")
+		b.ReportMetric(off.FinalTestErr*100, "lambda0-testerr%")
+	}
+}
+
+// BenchmarkAblationSumCompensation compares the normalized (mean-future)
+// compensation against the paper-literal raw sum of Formula 9.
+func BenchmarkAblationSumCompensation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchProfile()
+		sum := trainer.RunCellCfg(p, ps.LCASGD, 16, core.BNAsync, benchSeed, func(c *ps.Config) { c.SumCompensation = true })
+		norm := trainer.RunCell(p, ps.LCASGD, 16, core.BNAsync, benchSeed)
+		fmt.Printf("ablation compensation: normalized %.2f%%  raw-sum %.2f%%\n",
+			norm.FinalTestErr*100, sum.FinalTestErr*100)
+		b.ReportMetric(norm.FinalTestErr*100, "normalized-testerr%")
+		b.ReportMetric(sum.FinalTestErr*100, "rawsum-testerr%")
+	}
+}
+
+// BenchmarkAblationNaiveStepPredictor replaces the multivariate LSTM step
+// predictor with "use the last observed staleness".
+func BenchmarkAblationNaiveStepPredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchProfile()
+		naive := trainer.RunCellCfg(p, ps.LCASGD, 16, core.BNAsync, benchSeed, func(c *ps.Config) { c.NaiveStepPredictor = true })
+		lstm := trainer.RunCell(p, ps.LCASGD, 16, core.BNAsync, benchSeed)
+		fmt.Printf("ablation step predictor: LSTM %.2f%%  naive %.2f%%\n",
+			lstm.FinalTestErr*100, naive.FinalTestErr*100)
+		b.ReportMetric(lstm.FinalTestErr*100, "lstm-testerr%")
+		b.ReportMetric(naive.FinalTestErr*100, "naive-testerr%")
+	}
+}
+
+// BenchmarkAblationEMALossPredictor replaces the LSTM loss predictor with
+// EMA + trend extrapolation.
+func BenchmarkAblationEMALossPredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchProfile()
+		ema := trainer.RunCellCfg(p, ps.LCASGD, 16, core.BNAsync, benchSeed, func(c *ps.Config) { c.EMALossPredictor = true })
+		lstm := trainer.RunCell(p, ps.LCASGD, 16, core.BNAsync, benchSeed)
+		fmt.Printf("ablation loss predictor: LSTM %.2f%%  EMA %.2f%%\n",
+			lstm.FinalTestErr*100, ema.FinalTestErr*100)
+		b.ReportMetric(lstm.FinalTestErr*100, "lstm-testerr%")
+		b.ReportMetric(ema.FinalTestErr*100, "ema-testerr%")
+	}
+}
+
+// BenchmarkAblationBNDecay sweeps the Async-BN EMA factor d.
+func BenchmarkAblationBNDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchProfile()
+		for _, d := range []float64{0.1, 0.5} {
+			r := trainer.RunCellCfg(p, ps.ASGD, 8, core.BNAsync, benchSeed, func(c *ps.Config) { c.BNDecay = d })
+			fmt.Printf("ablation BN decay d=%.1f: test %.2f%%\n", d, r.FinalTestErr*100)
+			b.ReportMetric(r.FinalTestErr*100, fmt.Sprintf("d%.1f-testerr%%", d))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command lcexp regenerates the figures and tables of the LC-ASGD paper's
+// evaluation section on the simulated cluster. Each experiment id maps to
+// one paper artifact (see DESIGN.md's experiment index):
+//
+//	lcexp -exp fig2              DC-ASGD degradation with worker count
+//	lcexp -exp fig3 -workers 8   error vs epoch, all five algorithms
+//	lcexp -exp fig4 -workers 8   error vs virtual wall-clock
+//	lcexp -exp fig5 -workers 8   ImageNet-scale error vs epoch
+//	lcexp -exp fig6 -workers 8   ImageNet-scale error vs wall-clock
+//	lcexp -exp fig7              loss-predictor trace
+//	lcexp -exp fig8              step-predictor trace
+//	lcexp -exp tab1              final-error grid, BN vs Async-BN
+//	lcexp -exp tab2              predictor overhead, CIFAR-scale
+//	lcexp -exp tab3              predictor overhead, ImageNet-scale
+//	lcexp -exp all               everything above in sequence
+//
+// -full switches from the quick CPU-budget profiles to the paper-scale
+// ones; -seeds averages headline tables over several seeds; -csv emits the
+// series as CSV instead of charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lcasgd/internal/trainer"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig2..fig8, tab1..tab3, all")
+		workers = flag.Int("workers", 0, "restrict figure panels to one worker count (0 = all of 4,8,16)")
+		full    = flag.Bool("full", false, "use the paper-scale profiles (slow) instead of quick ones")
+		seeds   = flag.Int("seeds", 1, "number of seeds to average in tab1")
+		seed    = flag.Uint64("seed", 7, "base random seed")
+		csv     = flag.Bool("csv", false, "emit figure series as CSV tables instead of ASCII charts")
+	)
+	flag.Parse()
+
+	cifar, imagenet := trainer.QuickCIFAR(), trainer.QuickImageNet()
+	if *full {
+		cifar, imagenet = trainer.FullCIFAR(), trainer.FullImageNet()
+	}
+	ms := trainer.WorkerCounts
+	if *workers != 0 {
+		ms = []int{*workers}
+	}
+	var seedList []uint64
+	for i := 0; i < *seeds; i++ {
+		seedList = append(seedList, *seed+uint64(i))
+	}
+
+	run := func(id string) {
+		switch id {
+		case "fig2":
+			fmt.Println("== Figure 2: DC-ASGD test error vs epoch, ResNet-18-scale / CIFAR-10-scale ==")
+			cs := trainer.Fig2(cifar, *seed)
+			emitCurves(cs, *csv, true)
+		case "fig3", "fig4":
+			byTime := id == "fig4"
+			fmt.Printf("== Figure %s: all algorithms on %s, Async-BN ==\n", id[3:], cifar.Name)
+			for _, m := range ms {
+				cs := trainer.Fig3Panel(cifar, m, *seed)
+				emitCurves(cs, *csv, !byTime)
+			}
+		case "fig5", "fig6":
+			byTime := id == "fig6"
+			fmt.Printf("== Figure %s: distributed algorithms on %s, Async-BN ==\n", id[3:], imagenet.Name)
+			for _, m := range ms {
+				cs := trainer.Fig5Panel(imagenet, m, *seed)
+				emitCurves(cs, *csv, !byTime)
+			}
+		case "fig7", "fig8":
+			lossChart, stepChart, res := trainer.PredictorTraces(imagenet, *seed)
+			if id == "fig7" {
+				fmt.Println(lossChart)
+				var actuals []float64
+				for _, tp := range res.LossTrace {
+					actuals = append(actuals, tp.Actual)
+				}
+				fmt.Printf("loss-predictor tail MAE: %.4f (mean loss level %.3f)\n",
+					trainer.TraceMAE(res.LossTrace), meanActual(actuals))
+			} else {
+				fmt.Println(stepChart)
+				fmt.Printf("step-predictor tail MAE: %.2f steps (M=16)\n", trainer.TraceMAE(res.StepTrace))
+			}
+		case "tab1":
+			fmt.Println("== Table 1: final test error and degradation, BN vs Async-BN ==")
+			rows, b1, b2 := trainer.Table1(cifar, true, seedList)
+			fmt.Println(trainer.RenderTable1(cifar, rows, b1, b2))
+			rows, b1, b2 = trainer.Table1(imagenet, false, seedList)
+			fmt.Println(trainer.RenderTable1(imagenet, rows, b1, b2))
+		case "tab2":
+			fmt.Println("== Table 2: predictor overhead per iteration (CIFAR-scale) ==")
+			fmt.Println(trainer.RenderOverhead(cifar, trainer.OverheadTable(cifar, *seed)))
+		case "tab3":
+			fmt.Println("== Table 3: predictor overhead per iteration (ImageNet-scale) ==")
+			fmt.Println(trainer.RenderOverhead(imagenet, trainer.OverheadTable(imagenet, *seed)))
+		default:
+			fmt.Fprintf(os.Stderr, "lcexp: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1", "tab2", "tab3"} {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}
+
+func emitCurves(cs trainer.CurveSet, csv, byEpoch bool) {
+	if csv {
+		fmt.Println(cs.SeriesTable().CSV())
+		return
+	}
+	if byEpoch {
+		fmt.Println(cs.ChartEpochs(72, 16))
+	} else {
+		fmt.Println(cs.ChartTime(72, 16))
+	}
+	for _, a := range cs.Order {
+		r := cs.Results[a]
+		fmt.Printf("  %-10s final train %s%%  test %s%%  virtual %.1fs  staleness %.1f\n",
+			a, pct(r.FinalTrainErr), pct(r.FinalTestErr), r.VirtualMs/1000, r.MeanStaleness)
+	}
+	fmt.Println()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f", v*100) }
+
+func meanActual(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

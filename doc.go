@@ -1,0 +1,9 @@
+// Package lcasgd is a from-scratch Go reproduction of "Developing a Loss
+// Prediction-based Asynchronous Stochastic Gradient Descent Algorithm for
+// Distributed Training of Deep Neural Networks" (Li, He, Ren, Mao —
+// ICPP 2020).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/lcexp regenerates every figure and table of the paper's
+// evaluation, and bench_test.go provides one benchmark per artifact.
+package lcasgd

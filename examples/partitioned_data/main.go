@@ -1,0 +1,39 @@
+// partitioned_data demonstrates the paper's stated future-work extension:
+// LC-ASGD where "different workers train the models with different subset
+// of input data". Each simulated worker receives a disjoint shard of the
+// training set instead of sharing it, and the run is compared against the
+// paper's shared-data setting.
+//
+//	go run ./examples/partitioned_data
+package main
+
+import (
+	"fmt"
+
+	"lcasgd/internal/core"
+	"lcasgd/internal/ps"
+	"lcasgd/internal/trainer"
+)
+
+func main() {
+	profile := trainer.QuickCIFAR()
+	profile.Epochs = 8
+	const workers = 4
+
+	fmt.Printf("LC-ASGD, shared data vs disjoint shards (%d workers)\n\n", workers)
+
+	shared := trainer.RunCell(profile, ps.LCASGD, workers, core.BNAsync, 21)
+	parted := trainer.RunCellCfg(profile, ps.LCASGD, workers, core.BNAsync, 21,
+		func(c *ps.Config) { c.Partitioned = true })
+
+	fmt.Printf("%-12s  %-12s %-12s\n", "data layout", "train err %", "test err %")
+	fmt.Printf("%-12s  %-12.2f %-12.2f\n", "shared", shared.FinalTrainErr*100, shared.FinalTestErr*100)
+	fmt.Printf("%-12s  %-12.2f %-12.2f\n", "partitioned", parted.FinalTrainErr*100, parted.FinalTestErr*100)
+	fmt.Println()
+	fmt.Printf("each shard holds %d of %d training samples\n",
+		profile.Data.Train/workers, profile.Data.Train)
+	fmt.Println()
+	fmt.Println("With IID shards the partitioned run tracks the shared-data run closely:")
+	fmt.Println("every server update still sees an unbiased gradient, only drawn from a")
+	fmt.Println("worker-local pool — the setting the paper's conclusion proposes to study.")
+}

@@ -1,0 +1,103 @@
+// predictor_demo exercises the two LC-ASGD predictors standalone on
+// recorded traces — Figures 7 and 8 in miniature, without running a full
+// training job.
+//
+//	go run ./examples/predictor_demo
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"lcasgd/internal/core"
+	"lcasgd/internal/report"
+	"lcasgd/internal/rng"
+)
+
+func main() {
+	fmt.Println("Part 1: online loss predictor on a synthetic training-loss curve")
+	lossPredictorDemo()
+	fmt.Println()
+	fmt.Println("Part 2: online step predictor on a volatile staleness stream")
+	stepPredictorDemo()
+}
+
+// lossPredictorDemo feeds the predictor a decaying, noisy loss curve (what
+// a parameter server observes during convergence) and charts predictions
+// against reality.
+func lossPredictorDemo() {
+	g := rng.New(3)
+	pred := core.NewLossPredictor(rng.New(4))
+	loss := 3.2
+	for i := 0; i < 500; i++ {
+		observed := loss + 0.01*g.Normal()
+		pred.Observe(observed)
+		loss *= 0.998
+	}
+	trace := pred.Trace()
+	tail := trace[len(trace)-80:]
+	actual := report.Series{Name: "Loss"}
+	predicted := report.Series{Name: "Loss Predictor"}
+	for i, tp := range tail {
+		actual.X = append(actual.X, float64(i))
+		actual.Y = append(actual.Y, tp.Actual)
+		predicted.X = append(predicted.X, float64(i))
+		predicted.Y = append(predicted.Y, tp.Predicted)
+	}
+	fmt.Println(report.Chart("loss predictor, last 80 iterations", "iteration", "loss", 72, 12, actual, predicted))
+
+	var mae, level float64
+	for _, tp := range tail {
+		mae += math.Abs(tp.Actual - tp.Predicted)
+		level += tp.Actual
+	}
+	mae /= float64(len(tail))
+	level /= float64(len(tail))
+	fmt.Printf("tail MAE %.4f at loss level %.3f (%.2f%% relative)\n", mae, level, mae/level*100)
+
+	// Multi-step forecast, the quantity LC-ASGD actually consumes.
+	k := 8
+	delay := pred.PredictDelay(loss, k)
+	fmt.Printf("ℓ_delay forecast for k=%d future steps: %.3f (≈ k × current loss %.3f)\n", k, delay, loss)
+}
+
+// stepPredictorDemo replays a two-population staleness stream (fast and
+// slow workers) and reports forecast quality per population.
+func stepPredictorDemo() {
+	g := rng.New(5)
+	const workers = 8
+	pred := core.NewStepPredictor(workers, rng.New(6))
+	var maeFast, maeSlow, nFast, nSlow float64
+	for i := 0; i < 800; i++ {
+		m := i % workers
+		slow := m%2 == 1
+		// Slow workers see roughly double the staleness, plus jitter.
+		base := float64(workers - 1)
+		if slow {
+			base *= 1.8
+		}
+		actual := int(base + 2*g.Normal())
+		if actual < 0 {
+			actual = 0
+		}
+		tcomp := 10.0
+		if slow {
+			tcomp = 40
+		}
+		k := pred.ObserveAndPredict(m, actual, 2.0, tcomp)
+		if i > 400 {
+			err := math.Abs(float64(k - actual))
+			if slow {
+				maeSlow += err
+				nSlow++
+			} else {
+				maeFast += err
+				nFast++
+			}
+		}
+	}
+	fmt.Printf("fast-worker forecast MAE: %.2f steps\n", maeFast/nFast)
+	fmt.Printf("slow-worker forecast MAE: %.2f steps\n", maeSlow/nSlow)
+	fmt.Println("(the multivariate input — previous staleness, t_comm, t_comp — lets one")
+	fmt.Println("model serve both populations, as Section 4.4 of the paper argues)")
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lcasgd/internal/rng"
+)
+
+func TestCostModelValidate(t *testing.T) {
+	if err := CIFARCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImageNetCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := CostModel{MeanComp: -1}
+	if bad.Validate() == nil {
+		t.Fatal("negative mean accepted")
+	}
+	bad2 := CIFARCostModel()
+	bad2.StragglerProb = 2
+	if bad2.Validate() == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestSamplerMeanCloseToConfigured(t *testing.T) {
+	m := CostModel{MeanComp: 30, MeanComm: 3, Sigma: 0.2}
+	s := m.NewSampler(1, rng.New(1))
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Comp(0)
+	}
+	mean := sum / n
+	if math.Abs(mean-30)/30 > 0.03 {
+		t.Fatalf("comp mean %v, want ~30", mean)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += s.Comm(0)
+	}
+	mean = sum / n
+	if math.Abs(mean-3)/3 > 0.03 {
+		t.Fatalf("comm mean %v, want ~3", mean)
+	}
+}
+
+func TestSamplerPositiveQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := CIFARCostModel().NewSampler(4, rng.New(seed))
+		for i := 0; i < 100; i++ {
+			if s.Comp(i%4) <= 0 || s.Comm(i%4) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerHeterogeneity(t *testing.T) {
+	m := CostModel{MeanComp: 30, MeanComm: 3, Sigma: 0.01, Heterogeneity: 1.0}
+	s := m.NewSampler(16, rng.New(7))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for w := 0; w < 16; w++ {
+		v := s.Multiplier(w)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Fatalf("heterogeneity spread too small: [%v, %v]", lo, hi)
+	}
+	if lo < 0.5 || hi > 1.5 {
+		t.Fatalf("multipliers outside configured band: [%v, %v]", lo, hi)
+	}
+}
+
+func TestSamplerStragglers(t *testing.T) {
+	m := CostModel{MeanComp: 10, MeanComm: 1, Sigma: 0.01, StragglerProb: 0.5, StragglerFactor: 10}
+	s := m.NewSampler(1, rng.New(9))
+	slow := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if s.Comp(0) > 50 {
+			slow++
+		}
+	}
+	frac := float64(slow) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("straggler fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestSamplerZeroCommShortCircuits(t *testing.T) {
+	m := CostModel{MeanComp: 10, MeanComm: 0, Sigma: 0.2}
+	s := m.NewSampler(1, rng.New(1))
+	if s.Comm(0) != 0 {
+		t.Fatal("zero-comm model must sample 0")
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	a := CIFARCostModel().NewSampler(4, rng.New(42))
+	b := CIFARCostModel().NewSampler(4, rng.New(42))
+	for i := 0; i < 100; i++ {
+		if a.Comp(i%4) != b.Comp(i%4) {
+			t.Fatal("samplers with equal seeds diverged")
+		}
+	}
+}
+
+func TestSamplerPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CIFARCostModel().NewSampler(0, rng.New(1))
+}
+
+func TestRealtimePullPushStaleness(t *testing.T) {
+	r := NewRealtime(2, []float64{0})
+	r.Pull(0)
+	r.Pull(1)
+	// Worker 1 pushes first; worker 0's later push sees staleness 1.
+	r.Push(1, func(w []float64, s int) {
+		if s != 0 {
+			t.Fatalf("worker 1 staleness %d", s)
+		}
+		w[0] += 1
+	})
+	got := r.Push(0, func(w []float64, s int) { w[0] += 10 })
+	if got != 1 {
+		t.Fatalf("worker 0 staleness %d, want 1", got)
+	}
+	if w := r.Snapshot(); w[0] != 11 {
+		t.Fatalf("weights %v", w)
+	}
+}
+
+func TestRealtimeStats(t *testing.T) {
+	r := NewRealtime(1, []float64{0})
+	r.Pull(0)
+	r.Push(0, func(w []float64, s int) {})
+	pushes, mean := r.Stats()
+	if pushes != 1 || mean != 0 {
+		t.Fatalf("stats %d %v", pushes, mean)
+	}
+}
+
+func TestRealtimeConcurrentWorkersRace(t *testing.T) {
+	// Hammer the fabric from many goroutines; run with -race in CI. The
+	// final weight must equal the total number of increments (updates are
+	// serialized and none lost).
+	r := NewRealtime(8, []float64{0})
+	const perWorker = 200
+	RunWorkers(8, func(m int) {
+		for i := 0; i < perWorker; i++ {
+			_ = r.Pull(m)
+			r.Push(m, func(w []float64, s int) { w[0]++ })
+		}
+	})
+	if w := r.Snapshot(); w[0] != 8*perWorker {
+		t.Fatalf("lost updates: %v, want %d", w[0], 8*perWorker)
+	}
+	pushes, _ := r.Stats()
+	if pushes != 8*perWorker {
+		t.Fatalf("pushes %d", pushes)
+	}
+}
+
+func TestRunWorkersWaits(t *testing.T) {
+	var mu sync.Mutex
+	done := 0
+	RunWorkers(5, func(m int) {
+		mu.Lock()
+		done++
+		mu.Unlock()
+	})
+	if done != 5 {
+		t.Fatalf("RunWorkers returned before all workers finished: %d", done)
+	}
+}

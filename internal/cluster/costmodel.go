@@ -1,0 +1,135 @@
+// Package cluster models the distributed execution environment: per-worker
+// computation and communication cost distributions (the source of gradient
+// staleness), and a real-concurrency parameter-server fabric used by the
+// examples.
+//
+// The paper's evaluation ran on a GPU cluster where each worker's delay is
+// "usually high and volatile"; here those delays are lognormal random
+// variables with per-worker heterogeneity and optional straggler injection,
+// sampled deterministically from a seeded stream so experiments reproduce
+// bit-identically.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"lcasgd/internal/rng"
+)
+
+// CostModel describes the timing distributions of a simulated cluster, in
+// virtual milliseconds.
+type CostModel struct {
+	// MeanComp is the mean computation time of one full worker iteration
+	// (forward + backward on one mini-batch).
+	MeanComp float64
+	// MeanComm is the mean one-way communication time between a worker and
+	// the parameter server.
+	MeanComm float64
+	// Sigma is the lognormal shape parameter applied to both distributions;
+	// larger values give heavier tails (more volatile delays).
+	Sigma float64
+	// Heterogeneity spreads per-worker mean speeds: worker multipliers are
+	// drawn uniformly from [1-Heterogeneity/2, 1+Heterogeneity/2].
+	Heterogeneity float64
+	// StragglerProb is the per-iteration probability that a worker's
+	// computation is slowed by StragglerFactor, modeling transient
+	// contention.
+	StragglerProb   float64
+	StragglerFactor float64
+}
+
+// CIFARCostModel mirrors the paper's Table 2 setting: total iteration time
+// around 32 ms.
+func CIFARCostModel() CostModel {
+	return CostModel{
+		MeanComp: 28, MeanComm: 2.5, Sigma: 0.2,
+		Heterogeneity: 0.3, StragglerProb: 0.02, StragglerFactor: 3,
+	}
+}
+
+// ImageNetCostModel mirrors Table 3: total iteration time around 183 ms.
+func ImageNetCostModel() CostModel {
+	return CostModel{
+		MeanComp: 176, MeanComm: 3.5, Sigma: 0.2,
+		Heterogeneity: 0.3, StragglerProb: 0.02, StragglerFactor: 3,
+	}
+}
+
+// Validate checks the model is usable.
+func (c CostModel) Validate() error {
+	if c.MeanComp <= 0 || c.MeanComm < 0 {
+		return fmt.Errorf("cluster: non-positive means in %+v", c)
+	}
+	if c.Sigma < 0 || c.Heterogeneity < 0 || c.Heterogeneity >= 2 {
+		return fmt.Errorf("cluster: bad spread parameters in %+v", c)
+	}
+	if c.StragglerProb < 0 || c.StragglerProb > 1 {
+		return fmt.Errorf("cluster: straggler probability %v", c.StragglerProb)
+	}
+	return nil
+}
+
+// Sampler draws per-worker iteration costs. Each worker has a fixed speed
+// multiplier (hardware heterogeneity) plus per-iteration lognormal jitter
+// and occasional straggler slowdowns.
+type Sampler struct {
+	model CostModel
+	mult  []float64
+	g     *rng.RNG
+	// logMu values chosen so the lognormal mean equals the configured mean:
+	// E[lognormal(mu, s)] = exp(mu + s²/2).
+	muComp, muComm float64
+}
+
+// NewSampler builds a sampler for the given worker count.
+func (c CostModel) NewSampler(workers int, g *rng.RNG) *Sampler {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if workers <= 0 {
+		panic("cluster: need at least one worker")
+	}
+	s := &Sampler{model: c, g: g}
+	half := c.Heterogeneity / 2
+	for m := 0; m < workers; m++ {
+		s.mult = append(s.mult, 1-half+c.Heterogeneity*g.Float64())
+	}
+	adj := c.Sigma * c.Sigma / 2
+	s.muComp = logOf(c.MeanComp) - adj
+	s.muComm = logOf(c.MeanComm) - adj
+	return s
+}
+
+// Comp samples the computation time for worker m's next iteration.
+func (s *Sampler) Comp(m int) float64 {
+	t := s.mult[m] * s.g.LogNormal(s.muComp, s.model.Sigma)
+	if s.model.StragglerProb > 0 && s.g.Float64() < s.model.StragglerProb {
+		t *= s.model.StragglerFactor
+	}
+	return t
+}
+
+// Comm samples a one-way communication time for worker m.
+func (s *Sampler) Comm(m int) float64 {
+	if s.model.MeanComm == 0 {
+		return 0
+	}
+	return s.mult[m] * s.g.LogNormal(s.muComm, s.model.Sigma)
+}
+
+// Multiplier exposes worker m's fixed speed multiplier (used by tests and
+// the heterogeneous-cluster example to report the injected skew).
+func (s *Sampler) Multiplier(m int) float64 { return s.mult[m] }
+
+// Workers returns the configured worker count.
+func (s *Sampler) Workers() int { return len(s.mult) }
+
+// logOf is math.Log guarded for the MeanComm == 0 case (Comm
+// short-circuits zero before the distribution is consulted).
+func logOf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log(v)
+}

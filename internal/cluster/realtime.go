@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"sync"
+)
+
+// Realtime is a genuinely concurrent parameter-server fabric: one goroutine
+// per worker plus a mutex-protected server state. Unlike the discrete-event
+// simulator (which the experiment harness uses for reproducibility), this
+// fabric exhibits real scheduling nondeterminism — it backs the examples
+// that demonstrate the algorithms running under true asynchrony, in the
+// spirit of Hogwild-style parameter servers.
+//
+// The generic flow mirrors Algorithms 1–2: each worker repeatedly pulls the
+// current version, computes locally, and pushes an update; the server
+// serializes pushes and hands each worker a consistent snapshot on pull.
+type Realtime struct {
+	mu      sync.Mutex
+	weights []float64
+	version int
+	// pulledVersion[m] is the weight version worker m last pulled, from
+	// which observed staleness is derived on push.
+	pulledVersion []int
+	pushes        int
+	stalenessSum  int
+}
+
+// NewRealtime builds a fabric over an initial weight vector (copied).
+func NewRealtime(workers int, init []float64) *Realtime {
+	return &Realtime{
+		weights:       append([]float64(nil), init...),
+		pulledVersion: make([]int, workers),
+	}
+}
+
+// Pull returns a snapshot of the current weights and records the version
+// worker m received.
+func (r *Realtime) Pull(m int) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pulledVersion[m] = r.version
+	return append([]float64(nil), r.weights...)
+}
+
+// Push applies a worker's update under the server lock. apply receives the
+// live weight slice and the staleness (number of versions applied since the
+// worker's pull) and mutates the weights in place. It returns the staleness
+// for the caller's bookkeeping.
+func (r *Realtime) Push(m int, apply func(weights []float64, staleness int)) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	staleness := r.version - r.pulledVersion[m]
+	apply(r.weights, staleness)
+	r.version++
+	r.pushes++
+	r.stalenessSum += staleness
+	return staleness
+}
+
+// Snapshot returns a copy of the current weights without recording a pull.
+func (r *Realtime) Snapshot() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.weights...)
+}
+
+// Stats returns the number of pushes applied and the mean observed
+// staleness across them.
+func (r *Realtime) Stats() (pushes int, meanStaleness float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pushes == 0 {
+		return 0, 0
+	}
+	return r.pushes, float64(r.stalenessSum) / float64(r.pushes)
+}
+
+// RunWorkers launches fn for workers 0..workers-1 concurrently and waits
+// for all to return. Each fn(m) typically loops pull/compute/push for a
+// fixed number of iterations.
+func RunWorkers(workers int, fn func(m int)) {
+	var wg sync.WaitGroup
+	for m := 0; m < workers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			fn(m)
+		}(m)
+	}
+	wg.Wait()
+}

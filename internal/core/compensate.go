@@ -1,0 +1,63 @@
+package core
+
+// CompensationScale turns the server's loss compensation into the gradient
+// scale a worker applies when seeding backpropagation — the reproduction's
+// reading of Formula 5, g_m = ∇(ℓ_m + λ·ℓ_delay).
+//
+// As written in the paper the added term is a constant with zero gradient;
+// every practical loss-value-compensation implementation instead rescales
+// the backward seed by the ratio of the compensated loss to the observed
+// loss. We additionally normalize ℓ_delay (a sum over k predicted future
+// losses, Formula 9) by k, so the scale compares the observed loss against
+// the *mean* predicted future loss:
+//
+//	scale = (ℓ_m + λ·ℓ_delay/k) / ((1+λ)·ℓ_m)
+//
+// During convergence the predicted future losses sit below ℓ_m, so workers
+// with larger predicted staleness receive scale < 1 — their stale gradients
+// are damped in proportion to how far the model is predicted to have moved
+// on, which is exactly the graceful high-delay behaviour the paper's
+// evaluation demonstrates. The scale is clamped to [MinScale, MaxScale] to
+// keep early-training predictor noise from destabilizing updates; DESIGN.md
+// records this interpretation and the ablation bench quantifies the
+// normalization choice.
+func CompensationScale(lossM, lossDelay float64, k int, lambda float64) float64 {
+	if k <= 0 || lambda == 0 || lossM <= 0 {
+		return 1
+	}
+	meanFuture := lossDelay / float64(k)
+	scale := (lossM + lambda*meanFuture) / ((1 + lambda) * lossM)
+	return clampScale(scale)
+}
+
+// CompensationScaleSum is the un-normalized variant (using the raw sum
+// ℓ_delay rather than the per-step mean), kept for the ablation bench that
+// DESIGN.md calls out.
+func CompensationScaleSum(lossM, lossDelay float64, lambda float64) float64 {
+	if lambda == 0 || lossM <= 0 {
+		return 1
+	}
+	scale := (lossM + lambda*lossDelay) / ((1 + lambda) * lossM)
+	return clampScale(scale)
+}
+
+// MinScale and MaxScale bound the compensation scale. MaxScale is 1: the
+// compensation only ever damps stale gradients. An upward loss forecast
+// (loss predicted to rise, e.g. during an instability spike) must not
+// amplify the already-destabilizing stale gradient — amplification at
+// exactly the wrong moments is what makes naive loss-ratio scaling diverge
+// at high staleness.
+const (
+	MinScale = 0.1
+	MaxScale = 1.0
+)
+
+func clampScale(s float64) float64 {
+	if s < MinScale {
+		return MinScale
+	}
+	if s > MaxScale {
+		return MaxScale
+	}
+	return s
+}

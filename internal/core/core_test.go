@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcasgd/internal/nn"
+	"lcasgd/internal/rng"
+)
+
+func TestIterLogGaps(t *testing.T) {
+	l := NewIterLog()
+	if g := l.Append(0); g != -1 {
+		t.Fatalf("first delivery gap %d, want -1", g)
+	}
+	l.Append(1)
+	l.Append(2)
+	if g := l.Append(0); g != 2 {
+		t.Fatalf("gap %d, want 2 (workers 1,2 in between)", g)
+	}
+	if g := l.Append(0); g != 0 {
+		t.Fatalf("back-to-back gap %d, want 0", g)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len %d", l.Len())
+	}
+}
+
+func TestIterLogLastGap(t *testing.T) {
+	l := NewIterLog()
+	if l.LastGap(3) != -1 {
+		t.Fatal("unseen worker must report -1")
+	}
+	l.Append(3)
+	if l.LastGap(3) != -1 {
+		t.Fatal("single delivery must report -1")
+	}
+	l.Append(1)
+	l.Append(3)
+	if l.LastGap(3) != 1 {
+		t.Fatalf("LastGap %d, want 1", l.LastGap(3))
+	}
+}
+
+func TestIterLogSeqCopy(t *testing.T) {
+	l := NewIterLog()
+	l.Append(1)
+	s := l.Seq()
+	s[0] = 99
+	if l.Seq()[0] != 1 {
+		t.Fatal("Seq must return a copy")
+	}
+}
+
+// TestIterLogGapPropertyQuick: staleness equals entries between consecutive
+// appearances, whatever the arrival pattern.
+func TestIterLogGapPropertyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		l := NewIterLog()
+		last := map[int]int{}
+		for i := 0; i < 200; i++ {
+			m := g.Intn(8)
+			gap := l.Append(m)
+			want := -1
+			if prev, ok := last[m]; ok {
+				want = i - prev - 1
+			}
+			if gap != want {
+				return false
+			}
+			last[m] = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossPredictorTracksDecayingLoss(t *testing.T) {
+	p := NewLossPredictorSized(24, rng.New(1))
+	loss := 2.0
+	for i := 0; i < 400; i++ {
+		p.Observe(loss)
+		loss *= 0.995
+	}
+	trace := p.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Over the last quarter of the trace the predictions should track the
+	// actual values closely.
+	tail := trace[3*len(trace)/4:]
+	var sumAbs, sumVal float64
+	for _, tp := range tail {
+		sumAbs += math.Abs(tp.Actual - tp.Predicted)
+		sumVal += tp.Actual
+	}
+	relErr := sumAbs / sumVal
+	if relErr > 0.05 {
+		t.Fatalf("loss predictor tail relative error %.3f", relErr)
+	}
+}
+
+func TestLossPredictorPredictDelaySumsK(t *testing.T) {
+	p := NewLossPredictorSized(16, rng.New(2))
+	for i := 0; i < 100; i++ {
+		p.Observe(1.0) // constant series
+	}
+	d1 := p.PredictDelay(1.0, 1)
+	d4 := p.PredictDelay(1.0, 4)
+	if d1 <= 0 {
+		t.Fatalf("delay prediction %v for constant positive series", d1)
+	}
+	// Summing 4 future steps of a ~constant series ≈ 4× one step.
+	if d4 < 2*d1 || d4 > 6*d1 {
+		t.Fatalf("k=4 delay %v not ~4x k=1 delay %v", d4, d1)
+	}
+	if p.PredictDelay(1.0, 0) != 0 {
+		t.Fatal("k=0 must produce zero compensation")
+	}
+}
+
+func TestLossPredictorOverheadAccounting(t *testing.T) {
+	p := NewLossPredictorSized(8, rng.New(3))
+	for i := 0; i < 10; i++ {
+		p.Observe(1.0)
+	}
+	if p.Calls != 10 {
+		t.Fatalf("calls %d", p.Calls)
+	}
+	if p.AvgTrainMs() < 0 {
+		t.Fatal("negative average train time")
+	}
+}
+
+func TestStepPredictorColdStart(t *testing.T) {
+	p := NewStepPredictorSized(8, 16, rng.New(4))
+	k := p.ObserveAndPredict(0, -1, 1, 10)
+	if k != 7 {
+		t.Fatalf("cold-start prediction %d, want M-1=7", k)
+	}
+}
+
+func TestStepPredictorLearnsConstantStaleness(t *testing.T) {
+	p := NewStepPredictorSized(4, 24, rng.New(5))
+	var k int
+	for i := 0; i < 300; i++ {
+		k = p.ObserveAndPredict(0, 3, 1.0, 10.0)
+	}
+	if k != 3 {
+		t.Fatalf("predicted staleness %d after constant-3 stream", k)
+	}
+}
+
+func TestStepPredictorClamps(t *testing.T) {
+	p := NewStepPredictorSized(4, 8, rng.New(6))
+	for i := 0; i < 50; i++ {
+		k := p.ObserveAndPredict(1, 3, 1, 10)
+		if k < 0 || k > 12 {
+			t.Fatalf("prediction %d outside [0, 3M]", k)
+		}
+	}
+}
+
+func TestBNAccumulatorReplaceMode(t *testing.T) {
+	bns := []*nn.BatchNorm{nn.NewBatchNorm("a", 2, 1)}
+	acc := NewBNAccumulator(BNReplace, 0.2, bns)
+	acc.Update([]LayerStats{{Mean: []float64{5, 6}, Var: []float64{2, 3}}})
+	mean, vari := acc.Snapshot()
+	if mean[0][0] != 5 || vari[0][1] != 3 {
+		t.Fatalf("replace mode: %v %v", mean, vari)
+	}
+	acc.Update([]LayerStats{{Mean: []float64{-1, -1}, Var: []float64{1, 1}}})
+	mean, _ = acc.Snapshot()
+	if mean[0][0] != -1 {
+		t.Fatal("replace mode must overwrite")
+	}
+}
+
+func TestBNAccumulatorAsyncEMA(t *testing.T) {
+	bns := []*nn.BatchNorm{nn.NewBatchNorm("a", 1, 1)}
+	acc := NewBNAccumulator(BNAsync, 0.5, bns)
+	acc.Update([]LayerStats{{Mean: []float64{4}, Var: []float64{3}}})
+	mean, vari := acc.Snapshot()
+	if mean[0][0] != 2 { // 0.5*0 + 0.5*4
+		t.Fatalf("EMA mean %v", mean[0][0])
+	}
+	if vari[0][0] != 2 { // 0.5*1 + 0.5*3
+		t.Fatalf("EMA var %v", vari[0][0])
+	}
+}
+
+func TestBNAccumulatorAsyncIsSmoother(t *testing.T) {
+	// Feed alternating extreme stats; Async-BN's EMA must end closer to the
+	// long-run average than replace-by-latest.
+	build := func(mode BNMode) float64 {
+		bns := []*nn.BatchNorm{nn.NewBatchNorm("a", 1, 1)}
+		acc := NewBNAccumulator(mode, 0.2, bns)
+		for i := 0; i < 100; i++ {
+			v := 10.0
+			if i%2 == 0 {
+				v = -10
+			}
+			acc.Update([]LayerStats{{Mean: []float64{v}, Var: []float64{1}}})
+		}
+		mean, _ := acc.Snapshot()
+		return math.Abs(mean[0][0]) // distance from the true average 0
+	}
+	if build(BNAsync) >= build(BNReplace) {
+		t.Fatal("Async-BN should track the long-run average better than replace")
+	}
+}
+
+func TestBNAccumulatorApply(t *testing.T) {
+	bn := nn.NewBatchNorm("a", 2, 1)
+	acc := NewBNAccumulator(BNReplace, 0.2, []*nn.BatchNorm{bn})
+	acc.Update([]LayerStats{{Mean: []float64{7, 8}, Var: []float64{4, 5}}})
+	acc.Apply([]*nn.BatchNorm{bn})
+	m, v := bn.Running()
+	if m[0] != 7 || v[1] != 5 {
+		t.Fatalf("apply: %v %v", m, v)
+	}
+}
+
+func TestBNAccumulatorShapePanics(t *testing.T) {
+	acc := NewBNAccumulator(BNAsync, 0.2, []*nn.BatchNorm{nn.NewBatchNorm("a", 2, 1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	acc.Update([]LayerStats{{Mean: []float64{1}, Var: []float64{1}}})
+}
+
+func TestBNModeString(t *testing.T) {
+	if BNReplace.String() != "BN" || BNAsync.String() != "Async-BN" {
+		t.Fatal("mode names must match the paper's Table 1 columns")
+	}
+}
+
+func TestCompensationScaleNeutralCases(t *testing.T) {
+	if CompensationScale(1, 0.5, 0, 1) != 1 {
+		t.Fatal("k=0 must be neutral")
+	}
+	if CompensationScale(1, 0.5, 3, 0) != 1 {
+		t.Fatal("lambda=0 must be neutral")
+	}
+	if CompensationScale(0, 0.5, 3, 1) != 1 {
+		t.Fatal("non-positive loss must be neutral")
+	}
+}
+
+func TestCompensationScaleDampsWhenFutureLower(t *testing.T) {
+	// Mean predicted future loss 0.8 < current 1.0 -> damping.
+	s := CompensationScale(1.0, 0.8*4, 4, 1)
+	if s >= 1 {
+		t.Fatalf("scale %v, want < 1", s)
+	}
+	// Identical future -> exactly neutral.
+	s = CompensationScale(1.0, 1.0*4, 4, 1)
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("scale %v, want 1", s)
+	}
+	// Rising predicted loss -> clamped at neutral (damp-only policy): an
+	// upward forecast must never amplify a stale gradient.
+	s = CompensationScale(1.0, 1.5*4, 4, 1)
+	if s != MaxScale {
+		t.Fatalf("scale %v, want clamp at MaxScale=%v", s, MaxScale)
+	}
+}
+
+func TestCompensationScaleMonotoneInFuture(t *testing.T) {
+	prev := math.Inf(-1)
+	for _, f := range []float64{0.2, 0.5, 0.8, 1.0, 1.2} {
+		s := CompensationScale(1.0, f*3, 3, 1)
+		if s < prev {
+			t.Fatal("scale must be monotone in predicted future loss")
+		}
+		prev = s
+	}
+}
+
+func TestCompensationScaleClamped(t *testing.T) {
+	if s := CompensationScale(1.0, 0, 5, 10); s != MinScale {
+		t.Fatalf("scale %v, want clamp at %v", s, MinScale)
+	}
+	if s := CompensationScale(0.01, 100, 1, 10); s != MaxScale {
+		t.Fatalf("scale %v, want clamp at %v", s, MaxScale)
+	}
+}
+
+func TestCompensationScaleSumGrowsWithK(t *testing.T) {
+	// The un-normalized variant inflates with k even for a flat series —
+	// the pathology the normalized version avoids (ablation).
+	flat := CompensationScaleSum(1.0, 1.0*8, 1)
+	if flat != MaxScale {
+		t.Fatalf("sum variant at k=8 flat series: %v, expected clamp at max", flat)
+	}
+	norm := CompensationScale(1.0, 1.0*8, 8, 1)
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("normalized variant should be neutral on flat series, got %v", norm)
+	}
+}
+
+func TestCompensationScalePropertyQuick(t *testing.T) {
+	f := func(lRaw, dRaw uint16, kRaw uint8) bool {
+		lossM := 0.01 + float64(lRaw)/1000
+		delay := float64(dRaw) / 1000
+		k := int(kRaw%16) + 1
+		s := CompensationScale(lossM, delay, k, 1)
+		return s >= MinScale && s <= MaxScale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"lcasgd/internal/lstm"
+	"lcasgd/internal/rng"
+)
+
+// TracePoint pairs an observed value with the predictor's one-step-ahead
+// forecast made before the observation arrived — the data behind Figures 7
+// and 8.
+type TracePoint struct {
+	Iteration int
+	Actual    float64
+	Predicted float64
+}
+
+// LossPredictor is Algorithm 3: an online-trained LSTM (two LSTM layers and
+// a linear head) living on the parameter server that models the global loss
+// time series and forecasts it k steps ahead. The sum of the k predicted
+// future losses is the compensation value ℓ_delay sent to the worker.
+type LossPredictor struct {
+	net      *lstm.Network
+	lastLoss float64
+	seeded   bool
+
+	trace     []TracePoint
+	nextPred  float64
+	iteration int
+
+	// Overhead accounting (Tables 2–3): cumulative wall time spent in
+	// online training and prediction, and the number of invocations.
+	TrainTime   time.Duration
+	PredictTime time.Duration
+	Calls       int
+}
+
+// NewLossPredictor builds the predictor with the paper's hidden size of 64
+// per LSTM layer.
+func NewLossPredictor(g *rng.RNG) *LossPredictor {
+	return NewLossPredictorSized(64, g)
+}
+
+// NewLossPredictorSized allows the hidden width to be varied (used by the
+// overhead-vs-accuracy ablation bench).
+func NewLossPredictorSized(hidden int, g *rng.RNG) *LossPredictor {
+	n := lstm.NewNetwork(1, []int{hidden, hidden}, g)
+	n.LR = 0.2
+	n.Window = 12
+	return &LossPredictor{net: n}
+}
+
+// Observe implements Algorithm 3 line 1: the previous loss ℓ_t is the input
+// and the newly arrived loss ℓ_m is the label for one online training step.
+// It also records the (actual, previously-predicted) pair for Figure 7.
+func (p *LossPredictor) Observe(lossM float64) {
+	start := time.Now()
+	defer func() {
+		p.TrainTime += time.Since(start)
+		p.Calls++
+	}()
+	if p.seeded {
+		p.trace = append(p.trace, TracePoint{Iteration: p.iteration, Actual: lossM, Predicted: p.nextPred})
+		p.net.TrainStep([]float64{p.lastLoss}, lossM)
+	} else {
+		p.seeded = true
+		p.nextPred = lossM
+	}
+	p.iteration++
+	p.lastLoss = lossM
+	// Pre-compute the one-step forecast so the next Observe can log it.
+	p.nextPred = p.net.Predict([]float64{lossM})
+}
+
+// PredictDelay implements Algorithm 3 lines 2–3 and Formula 9: roll the
+// LSTM k steps into the future (feeding each prediction back as the next
+// input) and return the sum of the predicted losses.
+func (p *LossPredictor) PredictDelay(lossM float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	start := time.Now()
+	defer func() { p.PredictTime += time.Since(start) }()
+	preds := p.net.PredictAhead([]float64{lossM}, k, func(o float64) []float64 {
+		return []float64{o}
+	})
+	sum := 0.0
+	for _, v := range preds {
+		// A loss forecast below zero is an artifact of the linear head;
+		// clamp so the compensation value stays physical.
+		if v < 0 {
+			v = 0
+		}
+		sum += v
+	}
+	return sum
+}
+
+// Trace returns the recorded (actual, predicted) series for Figure 7.
+func (p *LossPredictor) Trace() []TracePoint {
+	return append([]TracePoint(nil), p.trace...)
+}
+
+// AvgTrainMs returns the mean per-call online-training time in
+// milliseconds, the quantity Tables 2–3 report.
+func (p *LossPredictor) AvgTrainMs() float64 {
+	if p.Calls == 0 {
+		return 0
+	}
+	return float64(p.TrainTime.Microseconds()) / float64(p.Calls) / 1000
+}

@@ -1,0 +1,239 @@
+// Package data provides the deterministic synthetic datasets that stand in
+// for CIFAR-10 and ImageNet (see DESIGN.md), plus batching utilities.
+//
+// Each dataset is a Gaussian-prototype image classification task: every
+// class has a smooth random prototype image, and samples are the prototype
+// plus per-sample brightness jitter and pixel noise. The noise scale is
+// chosen so the task has an irreducible error floor, giving the train/test
+// error curves the qualitative shape of the paper's figures.
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
+)
+
+// Dataset is an in-memory labeled set of flattened channel-major images.
+type Dataset struct {
+	X       *tensor.Tensor // [N, C*H*W]
+	Y       []int
+	Classes int
+	C, H, W int
+}
+
+// Features returns the flattened image width.
+func (d *Dataset) Features() int { return d.C * d.H * d.W }
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// Batch gathers the samples at idx into fresh tensors.
+func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	f := d.Features()
+	x := tensor.New(len(idx), f)
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= d.Len() {
+			panic(fmt.Sprintf("data: batch index %d out of range [0,%d)", j, d.Len()))
+		}
+		copy(x.Data[i*f:(i+1)*f], d.X.Data[j*f:(j+1)*f])
+		y[i] = d.Y[j]
+	}
+	return x, y
+}
+
+// Config parameterizes a synthetic dataset.
+type Config struct {
+	Classes     int
+	C, H, W     int
+	Train       int
+	Test        int
+	NoiseSigma  float64 // per-pixel noise; larger -> harder task
+	SignalScale float64 // per-pixel RMS of the class prototypes
+	Smoothing   int     // box-blur passes applied to prototypes
+	Seed        uint64
+}
+
+// CIFARConfig mirrors CIFAR-10's role: 10 classes, 3-channel 8×8 images.
+// Sample counts are scaled from the paper's 50k/10k to keep CPU experiments
+// tractable while preserving the train/test ratio.
+func CIFARConfig() Config {
+	return Config{
+		Classes: 10, C: 3, H: 8, W: 8,
+		Train: 2000, Test: 400,
+		NoiseSigma: 1.0, SignalScale: 0.32, Smoothing: 2, Seed: 0xC1FA,
+	}
+}
+
+// ImageNetConfig mirrors ImageNet's role at the paper's "27 high-level
+// categories" granularity with larger images and more samples.
+func ImageNetConfig() Config {
+	return Config{
+		Classes: 27, C: 3, H: 12, W: 12,
+		Train: 2700, Test: 540,
+		NoiseSigma: 1.0, SignalScale: 0.16, Smoothing: 2, Seed: 0x13A6E7,
+	}
+}
+
+// Generate builds the train and test splits. Both splits draw from the same
+// class prototypes but use independent noise streams, so a generalization
+// gap exists and overfitting is measurable.
+func Generate(cfg Config) (train, test *Dataset) {
+	if cfg.Classes < 2 || cfg.Train < cfg.Classes || cfg.Test < cfg.Classes {
+		panic(fmt.Sprintf("data: degenerate config %+v", cfg))
+	}
+	g := rng.New(cfg.Seed)
+	f := cfg.C * cfg.H * cfg.W
+	protos := make([][]float64, cfg.Classes)
+	for c := range protos {
+		p := make([]float64, f)
+		g.FillNormal(p, 1)
+		for s := 0; s < cfg.Smoothing; s++ {
+			boxBlur(p, cfg.C, cfg.H, cfg.W)
+		}
+		normalize(p, cfg.SignalScale)
+		protos[c] = p
+	}
+	train = sample(cfg, protos, cfg.Train, g.SplitLabeled(1))
+	test = sample(cfg, protos, cfg.Test, g.SplitLabeled(2))
+	return train, test
+}
+
+func sample(cfg Config, protos [][]float64, n int, g *rng.RNG) *Dataset {
+	f := cfg.C * cfg.H * cfg.W
+	d := &Dataset{
+		X: tensor.New(n, f), Y: make([]int, n),
+		Classes: cfg.Classes, C: cfg.C, H: cfg.H, W: cfg.W,
+	}
+	for i := 0; i < n; i++ {
+		c := i % cfg.Classes // balanced classes
+		d.Y[i] = c
+		dst := d.X.Data[i*f : (i+1)*f]
+		brightness := 1 + 0.2*g.Normal()
+		for j, pv := range protos[c] {
+			dst[j] = brightness*pv + cfg.NoiseSigma*g.Normal()
+		}
+	}
+	return d
+}
+
+// boxBlur applies one 3×3 box-blur pass per channel in place, giving the
+// prototypes the low-frequency spatial structure natural images have.
+func boxBlur(p []float64, c, h, w int) {
+	tmp := make([]float64, h*w)
+	for ch := 0; ch < c; ch++ {
+		plane := p[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				sum, cnt := 0.0, 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						ny, nx := y+dy, x+dx
+						if ny >= 0 && ny < h && nx >= 0 && nx < w {
+							sum += plane[ny*w+nx]
+							cnt++
+						}
+					}
+				}
+				tmp[y*w+x] = sum / float64(cnt)
+			}
+		}
+		copy(plane, tmp)
+	}
+}
+
+// normalize rescales a prototype to zero mean and the requested per-pixel
+// RMS so every class carries the same signal energy. The RMS (relative to
+// the unit noise sigma) sets the Bayes error floor of the task.
+func normalize(p []float64, rms float64) {
+	mean := 0.0
+	for _, v := range p {
+		mean += v
+	}
+	mean /= float64(len(p))
+	norm := 0.0
+	for i := range p {
+		p[i] -= mean
+		norm += p[i] * p[i]
+	}
+	if norm == 0 {
+		return
+	}
+	factor := rms / math.Sqrt(norm/float64(len(p)))
+	for i := range p {
+		p[i] *= factor
+	}
+}
+
+// BatchIter yields deterministic shuffled mini-batches, reshuffling at each
+// epoch boundary. Every worker in the simulated cluster holds its own
+// iterator over the shared dataset, matching the paper's setting where "all
+// of the workers not only share the model but also use the same data".
+type BatchIter struct {
+	ds    *Dataset
+	size  int
+	g     *rng.RNG
+	order []int
+	pos   int
+	Epoch int // completed epochs
+}
+
+// NewBatchIter builds an iterator with the given batch size.
+func NewBatchIter(ds *Dataset, size int, g *rng.RNG) *BatchIter {
+	if size <= 0 || size > ds.Len() {
+		panic(fmt.Sprintf("data: batch size %d for dataset of %d", size, ds.Len()))
+	}
+	it := &BatchIter{ds: ds, size: size, g: g, order: g.Perm(ds.Len())}
+	return it
+}
+
+// Next returns the next mini-batch, reshuffling when the epoch wraps.
+func (it *BatchIter) Next() (*tensor.Tensor, []int) {
+	if it.pos+it.size > len(it.order) {
+		it.g.Shuffle(it.order)
+		it.pos = 0
+		it.Epoch++
+	}
+	idx := it.order[it.pos : it.pos+it.size]
+	it.pos += it.size
+	return it.ds.Batch(idx)
+}
+
+// BatchesPerEpoch returns how many batches one pass over the data yields.
+func (it *BatchIter) BatchesPerEpoch() int { return it.ds.Len() / it.size }
+
+// Partition splits a dataset into m disjoint contiguous shards. Because
+// Generate lays samples out class-cyclically, contiguous blocks stay
+// class-balanced whenever a shard holds at least one full class cycle
+// (round-robin striding would instead give each shard a single class when
+// the class count divides m). This backs the paper's stated future-work
+// extension — "different workers train the models with different subset of
+// input data" — implemented as the Partitioned mode of the distributed
+// algorithms.
+func Partition(ds *Dataset, m int) []*Dataset {
+	if m <= 0 || m > ds.Len() {
+		panic(fmt.Sprintf("data: cannot partition %d samples into %d shards", ds.Len(), m))
+	}
+	f := ds.Features()
+	shards := make([]*Dataset, m)
+	base, rem := ds.Len()/m, ds.Len()%m
+	start := 0
+	for s := 0; s < m; s++ {
+		n := base
+		if s < rem {
+			n++
+		}
+		shard := &Dataset{
+			X: tensor.New(n, f), Y: make([]int, n),
+			Classes: ds.Classes, C: ds.C, H: ds.H, W: ds.W,
+		}
+		copy(shard.X.Data, ds.X.Data[start*f:(start+n)*f])
+		copy(shard.Y, ds.Y[start:start+n])
+		shards[s] = shard
+		start += n
+	}
+	return shards
+}

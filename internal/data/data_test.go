@@ -1,0 +1,199 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"lcasgd/internal/rng"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	tr, te := Generate(CIFARConfig())
+	if tr.Len() != 2000 || te.Len() != 400 {
+		t.Fatalf("sizes %d/%d", tr.Len(), te.Len())
+	}
+	if tr.Features() != 3*8*8 || tr.Classes != 10 {
+		t.Fatalf("features %d classes %d", tr.Features(), tr.Classes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(CIFARConfig())
+	b, _ := Generate(CIFARConfig())
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("dataset generation is not deterministic")
+		}
+	}
+}
+
+func TestTrainTestDiffer(t *testing.T) {
+	tr, te := Generate(CIFARConfig())
+	same := true
+	for i := 0; i < te.Features(); i++ {
+		if tr.X.Data[i] != te.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train and test splits share samples")
+	}
+}
+
+func TestClassesBalanced(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	counts := make([]int, tr.Classes)
+	for _, y := range tr.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != tr.Len()/tr.Classes {
+			t.Fatalf("class %d has %d samples, want %d", c, n, tr.Len()/tr.Classes)
+		}
+	}
+}
+
+func TestTaskIsLearnableByNearestPrototype(t *testing.T) {
+	// A nearest-class-mean classifier fit on train should beat chance on
+	// test by a wide margin — i.e. the task carries signal.
+	tr, te := Generate(CIFARConfig())
+	f := tr.Features()
+	means := make([][]float64, tr.Classes)
+	counts := make([]int, tr.Classes)
+	for c := range means {
+		means[c] = make([]float64, f)
+	}
+	for i, y := range tr.Y {
+		row := tr.X.Data[i*f : (i+1)*f]
+		for j, v := range row {
+			means[y][j] += v
+		}
+		counts[y]++
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i, y := range te.Y {
+		row := te.X.Data[i*f : (i+1)*f]
+		best, bestC := math.Inf(1), -1
+		for c := range means {
+			d := 0.0
+			for j, v := range row {
+				diff := v - means[c][j]
+				d += diff * diff
+			}
+			if d < best {
+				best, bestC = d, c
+			}
+		}
+		if bestC == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(te.Len())
+	if acc < 0.5 {
+		t.Fatalf("nearest-mean test accuracy %.3f; task carries too little signal", acc)
+	}
+	if acc > 0.999 {
+		t.Fatalf("nearest-mean test accuracy %.3f; task is trivially separable (no error floor)", acc)
+	}
+}
+
+func TestImageNetConfigBigger(t *testing.T) {
+	tr, _ := Generate(ImageNetConfig())
+	if tr.Classes != 27 || tr.Features() != 3*12*12 {
+		t.Fatalf("imagenet-like config wrong: %d classes %d features", tr.Classes, tr.Features())
+	}
+}
+
+func TestBatchGather(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	x, y := tr.Batch([]int{5, 0})
+	f := tr.Features()
+	for j := 0; j < f; j++ {
+		if x.Data[j] != tr.X.Data[5*f+j] {
+			t.Fatal("batch row 0 mismatch")
+		}
+		if x.Data[f+j] != tr.X.Data[j] {
+			t.Fatal("batch row 1 mismatch")
+		}
+	}
+	if y[0] != tr.Y[5] || y[1] != tr.Y[0] {
+		t.Fatal("batch labels mismatch")
+	}
+}
+
+func TestBatchPanicsOutOfRange(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Batch([]int{tr.Len()})
+}
+
+func TestBatchIterCoversEpoch(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	it := NewBatchIter(tr, 100, rng.New(1))
+	if it.BatchesPerEpoch() != 20 {
+		t.Fatalf("batches per epoch %d", it.BatchesPerEpoch())
+	}
+	seenLabels := 0
+	for i := 0; i < it.BatchesPerEpoch(); i++ {
+		_, y := it.Next()
+		seenLabels += len(y)
+	}
+	if seenLabels != 2000 {
+		t.Fatalf("epoch covered %d samples", seenLabels)
+	}
+	if it.Epoch != 0 {
+		t.Fatalf("epoch counter %d before wrap", it.Epoch)
+	}
+	it.Next()
+	if it.Epoch != 1 {
+		t.Fatalf("epoch counter %d after wrap", it.Epoch)
+	}
+}
+
+func TestBatchIterReshuffles(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	it := NewBatchIter(tr, tr.Len(), rng.New(2))
+	_, y1 := it.Next()
+	_, y2 := it.Next()
+	diff := false
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("second epoch order identical to first (no reshuffle)")
+	}
+}
+
+func TestBatchIterBadSizePanics(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatchIter(tr, 0, rng.New(1))
+}
+
+func TestGenerateDegeneratePanics(t *testing.T) {
+	cfg := CIFARConfig()
+	cfg.Classes = 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(cfg)
+}

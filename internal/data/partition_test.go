@@ -1,0 +1,107 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionDisjointAndComplete(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	shards := Partition(tr, 4)
+	if len(shards) != 4 {
+		t.Fatalf("shard count %d", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total != tr.Len() {
+		t.Fatalf("shards cover %d of %d samples", total, tr.Len())
+	}
+	// Contiguous blocks: shard s row r maps to a strictly increasing
+	// original index with no overlap between shards.
+	f := tr.Features()
+	orig := 0
+	for s, shard := range shards {
+		for r := 0; r < shard.Len(); r++ {
+			if shard.Y[r] != tr.Y[orig] {
+				t.Fatalf("shard %d row %d label mismatch", s, r)
+			}
+			if shard.X.Data[r*f] != tr.X.Data[orig*f] {
+				t.Fatalf("shard %d row %d data mismatch", s, r)
+			}
+			orig++
+		}
+	}
+}
+
+func TestPartitionClassBalancePreserved(t *testing.T) {
+	// Generate lays labels out cyclically; contiguous shards longer than
+	// one class cycle stay balanced.
+	tr, _ := Generate(CIFARConfig())
+	shards := Partition(tr, 4)
+	for si, s := range shards {
+		counts := make([]int, s.Classes)
+		for _, y := range s.Y {
+			counts[y]++
+		}
+		min, max := s.Len(), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("shard %d class imbalance: %v", si, counts)
+		}
+	}
+}
+
+func TestPartitionSingleShardIsCopy(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	shards := Partition(tr, 1)
+	if shards[0].Len() != tr.Len() {
+		t.Fatal("m=1 partition must be the full set")
+	}
+	// Deep copy: mutating the shard must not touch the original.
+	shards[0].X.Data[0] = 12345
+	if tr.X.Data[0] == 12345 {
+		t.Fatal("partition must copy data")
+	}
+}
+
+func TestPartitionPanicsOnBadCount(t *testing.T) {
+	tr, _ := Generate(CIFARConfig())
+	for _, m := range []int{0, -1, tr.Len() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for m=%d", m)
+				}
+			}()
+			Partition(tr, m)
+		}()
+	}
+}
+
+func TestPartitionPropertyQuick(t *testing.T) {
+	tr, _ := Generate(Config{
+		Classes: 3, C: 1, H: 4, W: 4, Train: 60, Test: 12,
+		NoiseSigma: 1, SignalScale: 0.3, Smoothing: 1, Seed: 5,
+	})
+	f := func(mRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		shards := Partition(tr, m)
+		total := 0
+		for _, s := range shards {
+			total += s.Len()
+		}
+		return total == tr.Len() && len(shards) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

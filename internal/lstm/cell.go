@@ -1,0 +1,192 @@
+// Package lstm implements a small LSTM recurrent network with a linear
+// head and truncated-BPTT online training. It is the substrate for the two
+// predictors that constitute LC-ASGD's contribution: the loss predictor
+// (Algorithm 3) and the step predictor (Algorithm 4), both of which the
+// paper describes as "two LSTM layers in the front of the network and a
+// linear layer at the end", trained online on the parameter server.
+package lstm
+
+import (
+	"fmt"
+	"math"
+
+	"lcasgd/internal/rng"
+)
+
+// gate index layout inside the packed 4H pre-activation vector.
+const (
+	gateI = iota // input gate
+	gateF        // forget gate
+	gateG        // candidate
+	gateO        // output gate
+	numGates
+)
+
+// Cell is a single LSTM layer with input size X and hidden size H.
+// Parameters are packed: Wx [4H x X], Wh [4H x H], B [4H].
+type Cell struct {
+	X, H         int
+	Wx, Wh, B    []float64
+	dWx, dWh, dB []float64
+}
+
+// NewCell allocates a cell with Xavier-scaled weights and the forget-gate
+// bias initialized to 1 (the standard trick that stabilizes early training).
+func NewCell(x, h int, g *rng.RNG) *Cell {
+	c := &Cell{
+		X: x, H: h,
+		Wx:  make([]float64, numGates*h*x),
+		Wh:  make([]float64, numGates*h*h),
+		B:   make([]float64, numGates*h),
+		dWx: make([]float64, numGates*h*x),
+		dWh: make([]float64, numGates*h*h),
+		dB:  make([]float64, numGates*h),
+	}
+	g.FillNormal(c.Wx, math.Sqrt(1/float64(x+h)))
+	g.FillNormal(c.Wh, math.Sqrt(1/float64(x+h)))
+	for i := 0; i < h; i++ {
+		c.B[gateF*h+i] = 1
+	}
+	return c
+}
+
+// State is the recurrent state (h, c) of one cell.
+type State struct{ H, C []float64 }
+
+// NewState returns a zero state for hidden size h.
+func NewState(h int) State {
+	return State{H: make([]float64, h), C: make([]float64, h)}
+}
+
+// Clone deep-copies the state.
+func (s State) Clone() State {
+	return State{H: append([]float64(nil), s.H...), C: append([]float64(nil), s.C...)}
+}
+
+// stepCache records everything the backward pass needs for one timestep.
+type stepCache struct {
+	x, hPrev, cPrev []float64
+	i, f, g, o      []float64 // post-activation gate values
+	c, tanhC        []float64
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// Forward advances the cell one timestep, returning the new state and the
+// cache required by Backward.
+func (c *Cell) Forward(x []float64, prev State) (State, *stepCache) {
+	if len(x) != c.X {
+		panic(fmt.Sprintf("lstm: input size %d, want %d", len(x), c.X))
+	}
+	h := c.H
+	pre := make([]float64, numGates*h)
+	copy(pre, c.B)
+	for r := 0; r < numGates*h; r++ {
+		rowX := c.Wx[r*c.X : (r+1)*c.X]
+		s := 0.0
+		for j, xv := range x {
+			s += rowX[j] * xv
+		}
+		rowH := c.Wh[r*h : (r+1)*h]
+		for j, hv := range prev.H {
+			s += rowH[j] * hv
+		}
+		pre[r] += s
+	}
+	cache := &stepCache{
+		x: append([]float64(nil), x...), hPrev: prev.H, cPrev: prev.C,
+		i: make([]float64, h), f: make([]float64, h), g: make([]float64, h), o: make([]float64, h),
+		c: make([]float64, h), tanhC: make([]float64, h),
+	}
+	next := NewState(h)
+	for j := 0; j < h; j++ {
+		iv := sigmoid(pre[gateI*h+j])
+		fv := sigmoid(pre[gateF*h+j])
+		gv := math.Tanh(pre[gateG*h+j])
+		ov := sigmoid(pre[gateO*h+j])
+		cv := fv*prev.C[j] + iv*gv
+		tc := math.Tanh(cv)
+		cache.i[j], cache.f[j], cache.g[j], cache.o[j] = iv, fv, gv, ov
+		cache.c[j], cache.tanhC[j] = cv, tc
+		next.C[j] = cv
+		next.H[j] = ov * tc
+	}
+	return next, cache
+}
+
+// Backward consumes dh/dc for this timestep's outputs and the cache from
+// Forward; it accumulates parameter gradients and returns (dx, dhPrev,
+// dcPrev).
+func (c *Cell) Backward(dh, dc []float64, cache *stepCache) (dx, dhPrev, dcPrev []float64) {
+	h := c.H
+	dAct := make([]float64, numGates*h)
+	dcPrev = make([]float64, h)
+	for j := 0; j < h; j++ {
+		o, tc := cache.o[j], cache.tanhC[j]
+		dct := dc[j] + dh[j]*o*(1-tc*tc)
+		do := dh[j] * tc
+		di := dct * cache.g[j]
+		dg := dct * cache.i[j]
+		df := dct * cache.cPrev[j]
+		dcPrev[j] = dct * cache.f[j]
+		dAct[gateI*h+j] = di * cache.i[j] * (1 - cache.i[j])
+		dAct[gateF*h+j] = df * cache.f[j] * (1 - cache.f[j])
+		dAct[gateG*h+j] = dg * (1 - cache.g[j]*cache.g[j])
+		dAct[gateO*h+j] = do * o * (1 - o)
+	}
+	dx = make([]float64, c.X)
+	dhPrev = make([]float64, h)
+	for r := 0; r < numGates*h; r++ {
+		da := dAct[r]
+		if da == 0 {
+			continue
+		}
+		c.dB[r] += da
+		rowX := c.Wx[r*c.X : (r+1)*c.X]
+		dRowX := c.dWx[r*c.X : (r+1)*c.X]
+		for j := 0; j < c.X; j++ {
+			dRowX[j] += da * cache.x[j]
+			dx[j] += da * rowX[j]
+		}
+		rowH := c.Wh[r*h : (r+1)*h]
+		dRowH := c.dWh[r*h : (r+1)*h]
+		for j := 0; j < h; j++ {
+			dRowH[j] += da * cache.hPrev[j]
+			dhPrev[j] += da * rowH[j]
+		}
+	}
+	return dx, dhPrev, dcPrev
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (c *Cell) ZeroGrad() {
+	zero(c.dWx)
+	zero(c.dWh)
+	zero(c.dB)
+}
+
+// SGDStep applies one gradient-descent update with the given learning rate
+// and per-element clip on the gradient.
+func (c *Cell) SGDStep(lr, clip float64) {
+	apply(c.Wx, c.dWx, lr, clip)
+	apply(c.Wh, c.dWh, lr, clip)
+	apply(c.B, c.dB, lr, clip)
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+func apply(w, g []float64, lr, clip float64) {
+	for i := range w {
+		gv := g[i]
+		if gv > clip {
+			gv = clip
+		} else if gv < -clip {
+			gv = -clip
+		}
+		w[i] -= lr * gv
+	}
+}

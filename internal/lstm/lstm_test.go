@@ -1,0 +1,266 @@
+package lstm
+
+import (
+	"math"
+	"testing"
+
+	"lcasgd/internal/rng"
+)
+
+// cellLoss runs one forward step and returns Σh + Σc, the scalar whose
+// parameter gradient the finite-difference tests verify.
+func cellLoss(c *Cell, x []float64, prev State) float64 {
+	next, _ := c.Forward(x, prev)
+	s := 0.0
+	for _, v := range next.H {
+		s += v
+	}
+	for _, v := range next.C {
+		s += v
+	}
+	return s
+}
+
+func TestCellBackwardMatchesFiniteDiff(t *testing.T) {
+	g := rng.New(1)
+	c := NewCell(3, 4, g)
+	x := []float64{0.5, -0.2, 0.8}
+	prev := NewState(4)
+	g.FillNormal(prev.H, 0.5)
+	g.FillNormal(prev.C, 0.5)
+
+	_, cache := c.Forward(x, prev)
+	c.ZeroGrad()
+	ones := []float64{1, 1, 1, 1}
+	dx, dhPrev, dcPrev := c.Backward(ones, ones, cache)
+
+	const eps = 1e-6
+	check := func(name string, w []float64, dw []float64) {
+		for i := range w {
+			orig := w[i]
+			w[i] = orig + eps
+			lp := cellLoss(c, x, prev)
+			w[i] = orig - eps
+			lm := cellLoss(c, x, prev)
+			w[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-dw[i]) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %g numeric %g", name, i, dw[i], num)
+			}
+		}
+	}
+	check("Wx", c.Wx, c.dWx)
+	check("Wh", c.Wh, c.dWh)
+	check("B", c.B, c.dB)
+
+	// Input and previous-state gradients.
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		lp := cellLoss(c, x, prev)
+		x[i] = orig - eps
+		lm := cellLoss(c, x, prev)
+		x[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("dx[%d]: analytic %g numeric %g", i, dx[i], num)
+		}
+	}
+	for i := range prev.H {
+		orig := prev.H[i]
+		prev.H[i] = orig + eps
+		lp := cellLoss(c, x, prev)
+		prev.H[i] = orig - eps
+		lm := cellLoss(c, x, prev)
+		prev.H[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dhPrev[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("dhPrev[%d]: analytic %g numeric %g", i, dhPrev[i], num)
+		}
+	}
+	for i := range prev.C {
+		orig := prev.C[i]
+		prev.C[i] = orig + eps
+		lp := cellLoss(c, x, prev)
+		prev.C[i] = orig - eps
+		lm := cellLoss(c, x, prev)
+		prev.C[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dcPrev[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("dcPrev[%d]: analytic %g numeric %g", i, dcPrev[i], num)
+		}
+	}
+}
+
+func TestCellForgetBiasInit(t *testing.T) {
+	c := NewCell(1, 3, rng.New(2))
+	for j := 0; j < 3; j++ {
+		if c.B[gateF*3+j] != 1 {
+			t.Fatal("forget-gate bias must initialize to 1")
+		}
+		if c.B[gateI*3+j] != 0 {
+			t.Fatal("other biases must initialize to 0")
+		}
+	}
+}
+
+func TestCellInputSizePanic(t *testing.T) {
+	c := NewCell(2, 3, rng.New(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Forward([]float64{1}, NewState(3))
+}
+
+func TestNetworkLearnsConstant(t *testing.T) {
+	g := rng.New(4)
+	n := NewNetwork(1, []int{8}, g)
+	n.LR = 0.1
+	var loss float64
+	for i := 0; i < 300; i++ {
+		loss = n.TrainStep([]float64{0.5}, 0.7)
+	}
+	if loss > 1e-3 {
+		t.Fatalf("did not fit constant: loss %v", loss)
+	}
+	if math.Abs(n.Predict([]float64{0.5})-0.7) > 0.05 {
+		t.Fatalf("prediction %v, want ~0.7", n.Predict([]float64{0.5}))
+	}
+}
+
+func TestNetworkLearnsDecayingSeries(t *testing.T) {
+	// The loss predictor's real job: track a decaying loss curve online.
+	g := rng.New(5)
+	n := NewNetwork(1, []int{16, 16}, g)
+	n.LR = 0.05
+	val := 1.0
+	var lastLoss float64
+	for i := 0; i < 400; i++ {
+		next := val * 0.99
+		lastLoss = n.TrainStep([]float64{val}, next)
+		val = next
+	}
+	if lastLoss > 5e-3 {
+		t.Fatalf("online loss on decaying series: %v", lastLoss)
+	}
+	pred := n.Predict([]float64{val})
+	if math.Abs(pred-val*0.99) > 0.05 {
+		t.Fatalf("one-step prediction %v, want ~%v", pred, val*0.99)
+	}
+}
+
+func TestNetworkWindowBounded(t *testing.T) {
+	n := NewNetwork(1, []int{4}, rng.New(6))
+	n.Window = 5
+	for i := 0; i < 20; i++ {
+		n.Observe([]float64{float64(i)}, 0)
+	}
+	if n.WindowLen() != 5 {
+		t.Fatalf("window length %d, want 5", n.WindowLen())
+	}
+}
+
+func TestPredictAheadLengthAndFeedback(t *testing.T) {
+	n := NewNetwork(1, []int{4}, rng.New(7))
+	for i := 0; i < 8; i++ {
+		n.Observe([]float64{0.1}, 0.1)
+	}
+	fed := 0
+	outs := n.PredictAhead([]float64{0.1}, 4, func(out float64) []float64 {
+		fed++
+		return []float64{out}
+	})
+	if len(outs) != 4 {
+		t.Fatalf("PredictAhead returned %d values, want 4", len(outs))
+	}
+	if fed != 3 {
+		t.Fatalf("feedback called %d times, want 3", fed)
+	}
+	if n.PredictAhead([]float64{0.1}, 0, nil) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestPredictAheadTracksDecay(t *testing.T) {
+	g := rng.New(8)
+	n := NewNetwork(1, []int{16, 16}, g)
+	n.LR = 0.05
+	val := 1.0
+	for i := 0; i < 600; i++ {
+		next := val * 0.995
+		n.TrainStep([]float64{val}, next)
+		val = next
+	}
+	outs := n.PredictAhead([]float64{val}, 5, func(o float64) []float64 { return []float64{o} })
+	// Multi-step predictions of a decaying series should stay near the
+	// series and be (weakly) decreasing in trend.
+	for i, o := range outs {
+		expected := val * math.Pow(0.995, float64(i+1))
+		if math.Abs(o-expected) > 0.1 {
+			t.Fatalf("step %d prediction %v, expected ~%v", i, o, expected)
+		}
+	}
+}
+
+func TestMultivariateInput(t *testing.T) {
+	// The step predictor consumes 3 features; check a 3-input network
+	// learns a simple function of its inputs online.
+	g := rng.New(9)
+	n := NewNetwork(3, []int{12}, g)
+	n.LR = 0.05
+	r := rng.New(10)
+	var loss float64
+	for i := 0; i < 800; i++ {
+		a, b := r.Float64(), r.Float64()
+		x := []float64{a, b, 0.5}
+		loss = n.TrainStep(x, 0.5*a+0.3*b)
+	}
+	if loss > 0.05 {
+		t.Fatalf("multivariate online loss %v", loss)
+	}
+}
+
+func TestNewNetworkPanicsWithoutHidden(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(1, nil, rng.New(1))
+}
+
+func TestTrainingIsDeterministic(t *testing.T) {
+	build := func() *Network {
+		n := NewNetwork(1, []int{8}, rng.New(42))
+		for i := 0; i < 50; i++ {
+			n.TrainStep([]float64{float64(i % 5)}, float64((i+1)%5))
+		}
+		return n
+	}
+	a, b := build(), build()
+	pa, pb := a.Predict([]float64{2}), b.Predict([]float64{2})
+	if pa != pb {
+		t.Fatalf("identical seeds diverged: %v vs %v", pa, pb)
+	}
+}
+
+func BenchmarkTrainStepH64(b *testing.B) {
+	n := NewNetwork(1, []int{64, 64}, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TrainStep([]float64{0.5}, 0.4)
+	}
+}
+
+func BenchmarkPredictAhead8(b *testing.B) {
+	n := NewNetwork(1, []int{64, 64}, rng.New(1))
+	for i := 0; i < 16; i++ {
+		n.Observe([]float64{0.5}, 0.4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.PredictAhead([]float64{0.5}, 8, func(o float64) []float64 { return []float64{o} })
+	}
+}

@@ -1,0 +1,230 @@
+package lstm
+
+import (
+	"fmt"
+
+	"lcasgd/internal/rng"
+)
+
+// Network is a stack of LSTM cells with a scalar linear head — the
+// architecture both of the paper's predictors use ("two LSTM layers ... and
+// a linear layer at the end", Sections 4.3–4.4). It trains online: every
+// observed (input, target) pair is appended to a sliding window, and each
+// TrainStep runs truncated BPTT over the window.
+type Network struct {
+	Cells  []*Cell
+	HeadW  []float64 // [H of last cell]
+	HeadB  float64
+	dHeadW []float64
+	dHeadB float64
+
+	Window int // truncated-BPTT window length
+	LR     float64
+	Clip   float64
+
+	inputs  [][]float64
+	targets []float64
+}
+
+// NewNetwork builds a stack with the given input size and hidden sizes
+// (one per cell). Defaults: window 16, learning rate 0.05, clip 1.
+func NewNetwork(inputSize int, hidden []int, g *rng.RNG) *Network {
+	if len(hidden) == 0 {
+		panic("lstm: need at least one hidden layer")
+	}
+	n := &Network{Window: 16, LR: 0.05, Clip: 1}
+	in := inputSize
+	for _, h := range hidden {
+		n.Cells = append(n.Cells, NewCell(in, h, g))
+		in = h
+	}
+	last := hidden[len(hidden)-1]
+	n.HeadW = make([]float64, last)
+	n.dHeadW = make([]float64, last)
+	g.FillNormal(n.HeadW, 0.1)
+	return n
+}
+
+// InputSize returns the expected input width.
+func (n *Network) InputSize() int { return n.Cells[0].X }
+
+// head applies the linear output layer to the top cell's hidden state.
+func (n *Network) head(h []float64) float64 {
+	s := n.HeadB
+	for j, w := range n.HeadW {
+		s += w * h[j]
+	}
+	return s
+}
+
+// forwardSeq runs the whole stack over a sequence from zero state,
+// returning per-step outputs, per-(layer,step) caches, and final states.
+func (n *Network) forwardSeq(seq [][]float64) (outs []float64, caches [][]*stepCache, finals []State) {
+	states := make([]State, len(n.Cells))
+	for i, c := range n.Cells {
+		states[i] = NewState(c.H)
+	}
+	caches = make([][]*stepCache, len(n.Cells))
+	outs = make([]float64, len(seq))
+	for t, x := range seq {
+		cur := x
+		for li, cell := range n.Cells {
+			var cache *stepCache
+			states[li], cache = cell.Forward(cur, states[li])
+			caches[li] = append(caches[li], cache)
+			cur = states[li].H
+		}
+		outs[t] = n.head(cur)
+	}
+	return outs, caches, states
+}
+
+// Observe appends an (input, target) pair to the training window without
+// updating weights. Used to warm the window before training begins.
+func (n *Network) Observe(input []float64, target float64) {
+	if len(input) != n.InputSize() {
+		panic(fmt.Sprintf("lstm: input width %d, want %d", len(input), n.InputSize()))
+	}
+	n.inputs = append(n.inputs, append([]float64(nil), input...))
+	n.targets = append(n.targets, target)
+	if len(n.inputs) > n.Window {
+		n.inputs = n.inputs[1:]
+		n.targets = n.targets[1:]
+	}
+}
+
+// TrainStep performs one online update: the pair is appended to the window
+// and one truncated-BPTT pass over the window minimizes the mean squared
+// one-step-ahead error. It returns the window loss before the update.
+func (n *Network) TrainStep(input []float64, target float64) float64 {
+	n.Observe(input, target)
+	return n.fitWindow()
+}
+
+// fitWindow runs forward+backward over the current window and applies SGD.
+func (n *Network) fitWindow() float64 {
+	T := len(n.inputs)
+	if T == 0 {
+		return 0
+	}
+	outs, caches, _ := n.forwardSeq(n.inputs)
+	loss := 0.0
+	dOuts := make([]float64, T)
+	for t := 0; t < T; t++ {
+		d := outs[t] - n.targets[t]
+		loss += d * d
+		dOuts[t] = 2 * d / float64(T)
+	}
+	loss /= float64(T)
+
+	for _, c := range n.Cells {
+		c.ZeroGrad()
+	}
+	zero(n.dHeadW)
+	n.dHeadB = 0
+
+	L := len(n.Cells)
+	// dh/dc flowing backward through time, one per layer.
+	dhNext := make([][]float64, L)
+	dcNext := make([][]float64, L)
+	for li, c := range n.Cells {
+		dhNext[li] = make([]float64, c.H)
+		dcNext[li] = make([]float64, c.H)
+	}
+	for t := T - 1; t >= 0; t-- {
+		// Head gradient at step t enters the top layer's dh.
+		top := L - 1
+		hTop := caches[top][t]
+		dhTop := make([]float64, n.Cells[top].H)
+		copy(dhTop, dhNext[top])
+		g := dOuts[t]
+		n.dHeadB += g
+		topH := hTopHidden(hTop)
+		for j := range n.HeadW {
+			n.dHeadW[j] += g * topH[j]
+			dhTop[j] += g * n.HeadW[j]
+		}
+		dh := dhTop
+		dc := dcNext[top]
+		for li := L - 1; li >= 0; li-- {
+			if li < L-1 {
+				// Lower layers receive dx from the layer above plus
+				// their own through-time gradient.
+				for j := range dh {
+					dh[j] += dhNext[li][j]
+				}
+				dc = dcNext[li]
+			}
+			dx, dhPrev, dcPrev := n.Cells[li].Backward(dh, dc, caches[li][t])
+			dhNext[li] = dhPrev
+			dcNext[li] = dcPrev
+			dh = dx
+		}
+	}
+	for _, c := range n.Cells {
+		c.SGDStep(n.LR, n.Clip)
+	}
+	apply(n.HeadW, n.dHeadW, n.LR, n.Clip)
+	db := n.dHeadB
+	if db > n.Clip {
+		db = n.Clip
+	} else if db < -n.Clip {
+		db = -n.Clip
+	}
+	n.HeadB -= n.LR * db
+	return loss
+}
+
+// hTopHidden recovers the hidden vector produced by a cached step: it is
+// o ⊙ tanh(c), recomputed from the cache to avoid storing it twice.
+func hTopHidden(c *stepCache) []float64 {
+	h := make([]float64, len(c.o))
+	for j := range h {
+		h[j] = c.o[j] * c.tanhC[j]
+	}
+	return h
+}
+
+// Predict returns the one-step-ahead output after replaying the window and
+// feeding the given input.
+func (n *Network) Predict(input []float64) float64 {
+	seq := append(append([][]float64(nil), n.inputs...), input)
+	outs, _, _ := n.forwardSeq(seq)
+	return outs[len(outs)-1]
+}
+
+// PredictAhead forecasts future values: it replays the window, feeds input,
+// then recursively feeds each prediction back through feedback (which maps
+// a scalar prediction to the next input vector) for a total of k outputs.
+// This is exactly Algorithm 3's "forward-propagating goes on k iterations".
+func (n *Network) PredictAhead(input []float64, k int, feedback func(out float64) []float64) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	states := make([]State, len(n.Cells))
+	for i, c := range n.Cells {
+		states[i] = NewState(c.H)
+	}
+	run := func(x []float64) float64 {
+		cur := x
+		for li, cell := range n.Cells {
+			states[li], _ = cell.Forward(cur, states[li])
+			cur = states[li].H
+		}
+		return n.head(cur)
+	}
+	for _, x := range n.inputs {
+		run(x)
+	}
+	outs := make([]float64, 0, k)
+	out := run(input)
+	outs = append(outs, out)
+	for len(outs) < k {
+		out = run(feedback(out))
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// WindowLen returns the number of pairs currently in the training window.
+func (n *Network) WindowLen() int { return len(n.inputs) }

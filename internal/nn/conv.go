@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+
+	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution implemented with im2col lowering so the inner
+// kernel is the parallel matmul. Input rows are channel-major (C, H, W)
+// flattened images; output rows are (OutC, OutH, OutW) flattened.
+type Conv2D struct {
+	Geom tensor.ConvGeom
+	OutC int
+	W    *Param // [InC*KH*KW, OutC]
+	B    *Param // [OutC]
+
+	x   *tensor.Tensor // cached input
+	col []float64      // reusable im2col buffer for one image
+}
+
+// NewConv2D constructs a convolution layer with He initialization. It
+// panics on invalid geometry — layer construction is programmer error
+// territory, not runtime input.
+func NewConv2D(name string, g tensor.ConvGeom, outC int, r *rng.RNG) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Conv2D{
+		Geom: g,
+		OutC: outC,
+		W:    NewParam(name+".W", g.ColCols(), outC),
+		B:    NewParam(name+".b", outC),
+	}
+	c.W.InitHe(r, g.ColCols())
+	c.col = make([]float64, g.ColRows()*g.ColCols())
+	return c
+}
+
+// Forward convolves each image in the batch.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	inFeat := c.Geom.InC * c.Geom.InH * c.Geom.InW
+	if x.Rank() != 2 || x.Shape[1] != inFeat {
+		panic(fmt.Sprintf("nn: Conv2D %s expects [N,%d], got %v", c.W.Name, inFeat, x.Shape))
+	}
+	c.x = x
+	n := x.Shape[0]
+	outH, outW := c.Geom.OutH(), c.Geom.OutW()
+	outFeat := c.OutC * outH * outW
+	out := tensor.New(n, outFeat)
+	colT := tensor.FromSlice(c.col, c.Geom.ColRows(), c.Geom.ColCols())
+	prod := tensor.New(c.Geom.ColRows(), c.OutC)
+	hw := outH * outW
+	for i := 0; i < n; i++ {
+		img := x.Data[i*inFeat : (i+1)*inFeat]
+		tensor.Im2Col(c.col, img, c.Geom)
+		tensor.MatMulInto(prod, colT, c.W.Value) // [HW, OutC]
+		dst := out.Data[i*outFeat : (i+1)*outFeat]
+		// Transpose [HW, OutC] -> channel-major [OutC, HW] and add bias.
+		for p := 0; p < hw; p++ {
+			row := prod.Data[p*c.OutC : (p+1)*c.OutC]
+			for oc, v := range row {
+				dst[oc*hw+p] = v + c.B.Value.Data[oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := c.x.Shape[0]
+	inFeat := c.Geom.InC * c.Geom.InH * c.Geom.InW
+	outH, outW := c.Geom.OutH(), c.Geom.OutW()
+	hw := outH * outW
+	outFeat := c.OutC * hw
+	dx := tensor.New(n, inFeat)
+	dOutMat := tensor.New(hw, c.OutC) // per-sample gradient in [HW, OutC] layout
+	colT := tensor.FromSlice(c.col, hw, c.Geom.ColCols())
+	for i := 0; i < n; i++ {
+		gslice := grad.Data[i*outFeat : (i+1)*outFeat]
+		for oc := 0; oc < c.OutC; oc++ {
+			for p := 0; p < hw; p++ {
+				dOutMat.Data[p*c.OutC+oc] = gslice[oc*hw+p]
+			}
+		}
+		// Bias gradient: sum over spatial positions.
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			base := oc * hw
+			for p := 0; p < hw; p++ {
+				s += gslice[base+p]
+			}
+			c.B.Grad.Data[oc] += s
+		}
+		// Weight gradient: colᵀ @ dOut.
+		img := c.x.Data[i*inFeat : (i+1)*inFeat]
+		tensor.Im2Col(c.col, img, c.Geom)
+		dW := tensor.MatMulTransA(colT, dOutMat)
+		tensor.AXPY(c.W.Grad, 1, dW)
+		// Input gradient: (dOut @ Wᵀ) scattered by col2im.
+		dCol := tensor.MatMulTransB(dOutMat, c.W.Value) // [HW, ColCols]
+		tensor.Col2Im(dx.Data[i*inFeat:(i+1)*inFeat], dCol.Data, c.Geom)
+	}
+	return dx
+}
+
+// Params returns the filter weights and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutFeatures reports OutC*OutH*OutW.
+func (c *Conv2D) OutFeatures() int { return c.OutC * c.Geom.OutH() * c.Geom.OutW() }

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"fmt"
+
+	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x @ W + b with W of shape
+// [in, out] and b of shape [out].
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	x       *tensor.Tensor // cached input for backward
+}
+
+// NewDense constructs a dense layer with He initialization (suited to the
+// ReLU networks used throughout) and zero bias.
+func NewDense(name string, in, out int, g *rng.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".W", in, out),
+		B:   NewParam(name+".b", out),
+	}
+	d.W.InitHe(g, in)
+	return d
+}
+
+// Forward computes x @ W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: Dense %s expects [N,%d], got %v", d.W.Name, d.In, x.Shape))
+	}
+	d.x = x
+	out := tensor.MatMul(x, d.W.Value)
+	tensor.AddRowVector(out, out, d.B.Value)
+	return out
+}
+
+// Backward accumulates dW = xᵀ @ dY, db = Σ_rows dY and returns
+// dX = dY @ Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dW := tensor.MatMulTransA(d.x, grad)
+	tensor.AXPY(d.W.Grad, 1, dW)
+	db := tensor.RowSum(grad)
+	tensor.AXPY(d.B.Grad, 1, db)
+	return tensor.MatMulTransB(grad, d.W.Value)
+}
+
+// Params returns the weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutFeatures reports the output width.
+func (d *Dense) OutFeatures() int { return d.Out }

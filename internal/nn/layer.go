@@ -1,0 +1,132 @@
+package nn
+
+import "lcasgd/internal/tensor"
+
+// Layer is one differentiable stage of a network. Inputs and outputs are
+// 2-D tensors of shape [batch, features]; convolutional layers interpret the
+// feature axis as channel-major (C, H, W) data.
+//
+// Forward must record whatever it needs for the matching Backward call;
+// Backward returns the gradient with respect to the layer input and
+// accumulates parameter gradients (it adds to Param.Grad rather than
+// overwriting, so gradient accumulation across micro-batches works).
+// Layers are not safe for concurrent use; each simulated worker owns a
+// private replica of the network.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+	OutFeatures() int
+}
+
+// Sequential chains layers. It is itself a Layer, so residual blocks can
+// nest sequential paths.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a container from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Add appends a layer.
+func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs every layer's backward pass in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutFeatures reports the feature width of the final layer.
+func (s *Sequential) OutFeatures() int {
+	if len(s.Layers) == 0 {
+		return 0
+	}
+	return s.Layers[len(s.Layers)-1].OutFeatures()
+}
+
+// ZeroGrad clears every parameter gradient in the container.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// BatchNorms returns every BatchNorm layer in the container, recursing into
+// nested sequentials and residual blocks. The distributed algorithms use
+// this to collect and inject normalization statistics (Async-BN).
+func (s *Sequential) BatchNorms() []*BatchNorm {
+	var bns []*BatchNorm
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *BatchNorm:
+			bns = append(bns, v)
+		case *Sequential:
+			for _, inner := range v.Layers {
+				walk(inner)
+			}
+		case *Residual:
+			walk(v.Path)
+			if v.Shortcut != nil {
+				walk(v.Shortcut)
+			}
+		}
+	}
+	for _, l := range s.Layers {
+		walk(l)
+	}
+	return bns
+}
+
+// ReLULayer applies the rectifier elementwise. It is stateless apart from
+// caching its input for the backward pass.
+type ReLULayer struct {
+	features int
+	x        *tensor.Tensor
+}
+
+// NewReLU returns a ReLU layer that reports the given feature width.
+func NewReLU(features int) *ReLULayer { return &ReLULayer{features: features} }
+
+// Forward computes max(x, 0).
+func (r *ReLULayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.x = x
+	out := tensor.New(x.Shape...)
+	tensor.ReLU(out, x)
+	return out
+}
+
+// Backward masks the incoming gradient by the sign of the cached input.
+func (r *ReLULayer) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	tensor.ReLUBackward(out, grad, r.x)
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLULayer) Params() []*Param { return nil }
+
+// OutFeatures reports the configured feature width.
+func (r *ReLULayer) OutFeatures() int { return r.features }

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"lcasgd/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
+// logits [N, classes] with integer labels, and the gradient with respect to
+// the logits. The softmax and loss are fused for numerical stability; the
+// fused backward pass is the familiar (softmax − onehot)/N.
+type SoftmaxCrossEntropy struct {
+	probs  *tensor.Tensor
+	labels []int
+}
+
+// Forward returns the mean cross-entropy loss.
+func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
+	if logits.Rank() != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: loss shape %v vs %d labels", logits.Shape, len(labels)))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	l.probs = tensor.New(n, c)
+	tensor.Softmax(l.probs, logits)
+	l.labels = labels
+	loss := 0.0
+	for i, y := range labels {
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		p := l.probs.At(i, y)
+		if p < 1e-300 {
+			p = 1e-300 // clamp to avoid -Inf on a catastrophically wrong prediction
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(n)
+}
+
+// Backward returns dLoss/dLogits for the most recent Forward. The optional
+// scale multiplies the gradient — this is the seam the LC-ASGD loss
+// compensation uses to rescale a stale gradient by the ratio of the
+// compensated loss to the observed loss (see internal/core).
+func (l *SoftmaxCrossEntropy) Backward(scale float64) *tensor.Tensor {
+	n, c := l.probs.Shape[0], l.probs.Shape[1]
+	grad := l.probs.Clone()
+	for i, y := range l.labels {
+		grad.Data[i*c+y] -= 1
+	}
+	tensor.Scale(grad, grad, scale/float64(n))
+	return grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := tensor.ArgmaxRows(logits)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// MSELoss is the scalar-regression loss used to train the LSTM predictors
+// online (loss prediction and step prediction are both regressions).
+type MSELoss struct {
+	diff *tensor.Tensor
+}
+
+// Forward returns mean squared error between pred and target.
+func (l *MSELoss) Forward(pred, target *tensor.Tensor) float64 {
+	if pred.Len() != target.Len() {
+		panic(fmt.Sprintf("nn: MSE length %d vs %d", pred.Len(), target.Len()))
+	}
+	l.diff = tensor.New(pred.Shape...)
+	tensor.Sub(l.diff, pred, target)
+	s := 0.0
+	for _, d := range l.diff.Data {
+		s += d * d
+	}
+	return s / float64(pred.Len())
+}
+
+// Backward returns dLoss/dPred for the most recent Forward.
+func (l *MSELoss) Backward() *tensor.Tensor {
+	grad := tensor.New(l.diff.Shape...)
+	tensor.Scale(grad, l.diff, 2/float64(l.diff.Len()))
+	return grad
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+
+	"lcasgd/internal/tensor"
+)
+
+// Residual implements the ResNet basic-block skeleton: out = ReLU(path(x) +
+// shortcut(x)). Shortcut may be nil for an identity skip (requires the path
+// to preserve the feature width); otherwise it is typically a strided 1×1
+// convolution + BN projection, matching He et al. 2016.
+type Residual struct {
+	Path     *Sequential
+	Shortcut *Sequential // nil means identity
+
+	sum *tensor.Tensor // pre-activation cache for the final ReLU backward
+}
+
+// NewResidual builds a residual block.
+func NewResidual(path *Sequential, shortcut *Sequential) *Residual {
+	if shortcut == nil && path.OutFeatures() == 0 {
+		panic("nn: Residual path must report its feature width")
+	}
+	return &Residual{Path: path, Shortcut: shortcut}
+}
+
+// Forward computes ReLU(path(x) + shortcut(x)).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := r.Path.Forward(x, train)
+	var skip *tensor.Tensor
+	if r.Shortcut != nil {
+		skip = r.Shortcut.Forward(x, train)
+	} else {
+		skip = x
+	}
+	if !main.SameShape(skip) {
+		panic(fmt.Sprintf("nn: residual shape mismatch %v vs %v (missing projection shortcut?)", main.Shape, skip.Shape))
+	}
+	sum := tensor.New(main.Shape...)
+	tensor.Add(sum, main, skip)
+	r.sum = sum
+	out := tensor.New(sum.Shape...)
+	tensor.ReLU(out, sum)
+	return out
+}
+
+// Backward propagates through the final ReLU, then through both branches,
+// summing their input gradients.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dSum := tensor.New(grad.Shape...)
+	tensor.ReLUBackward(dSum, grad, r.sum)
+	dxPath := r.Path.Backward(dSum)
+	var dxSkip *tensor.Tensor
+	if r.Shortcut != nil {
+		dxSkip = r.Shortcut.Backward(dSum)
+	} else {
+		dxSkip = dSum
+	}
+	dx := tensor.New(dxPath.Shape...)
+	tensor.Add(dx, dxPath, dxSkip)
+	return dx
+}
+
+// Params returns the parameters of both branches.
+func (r *Residual) Params() []*Param {
+	ps := r.Path.Params()
+	if r.Shortcut != nil {
+		ps = append(ps, r.Shortcut.Params()...)
+	}
+	return ps
+}
+
+// OutFeatures reports the path's output width.
+func (r *Residual) OutFeatures() int { return r.Path.OutFeatures() }

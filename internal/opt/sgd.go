@@ -1,0 +1,79 @@
+// Package opt provides the optimizers and learning-rate schedules used by
+// the training loops: plain SGD over flattened parameter vectors (the form
+// the parameter server applies worker gradients in) and the step-decay
+// schedule the paper uses (÷10 at fixed epoch boundaries).
+package opt
+
+import "fmt"
+
+// SGD applies w ← w − γ·g (optionally with momentum and weight decay) to a
+// flat parameter vector. The parameter-server strategies all reduce to this
+// update applied to different gradient vectors, which is why it operates on
+// []float64 rather than on layer structures.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    []float64
+}
+
+// NewSGD builds an optimizer with the given base learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies one update to w given gradient g. With momentum m it uses
+// v ← m·v + g; w ← w − γ·v.
+func (s *SGD) Step(w, g []float64) {
+	if len(w) != len(g) {
+		panic(fmt.Sprintf("opt: Step length mismatch %d vs %d", len(w), len(g)))
+	}
+	if s.WeightDecay != 0 {
+		for i := range w {
+			g[i] += s.WeightDecay * w[i]
+		}
+	}
+	if s.Momentum == 0 {
+		for i := range w {
+			w[i] -= s.LR * g[i]
+		}
+		return
+	}
+	if s.velocity == nil {
+		s.velocity = make([]float64, len(w))
+	}
+	for i := range w {
+		s.velocity[i] = s.Momentum*s.velocity[i] + g[i]
+		w[i] -= s.LR * s.velocity[i]
+	}
+}
+
+// StepSchedule divides the base learning rate by Factor at each boundary
+// epoch, mirroring the paper's "divided by ten after 80 and 120 epochs"
+// (CIFAR-10) and "reduced by ten times at the 60th and 90th epoch"
+// (ImageNet).
+type StepSchedule struct {
+	Base       float64
+	Boundaries []int
+	Factor     float64
+}
+
+// NewPaperSchedule builds the schedule for a run of totalEpochs epochs with
+// drops at 1/2 and 3/4 of training, the proportional positions of the
+// paper's boundaries.
+func NewPaperSchedule(base float64, totalEpochs int) StepSchedule {
+	return StepSchedule{
+		Base:       base,
+		Boundaries: []int{totalEpochs / 2, totalEpochs * 3 / 4},
+		Factor:     10,
+	}
+}
+
+// At returns the learning rate in effect during the given epoch.
+func (s StepSchedule) At(epoch int) float64 {
+	lr := s.Base
+	for _, b := range s.Boundaries {
+		if epoch >= b {
+			lr /= s.Factor
+		}
+	}
+	return lr
+}

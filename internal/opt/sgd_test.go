@@ -1,0 +1,85 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGDPlainStep(t *testing.T) {
+	s := NewSGD(0.1)
+	w := []float64{1, 2}
+	g := []float64{10, -10}
+	s.Step(w, g)
+	if w[0] != 0 || w[1] != 3 {
+		t.Fatalf("SGD step: %v", w)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	s := NewSGD(1)
+	s.Momentum = 0.5
+	w := []float64{0}
+	s.Step(w, []float64{1}) // v=1, w=-1
+	s.Step(w, []float64{1}) // v=1.5, w=-2.5
+	if math.Abs(w[0]-(-2.5)) > 1e-12 {
+		t.Fatalf("momentum step: %v", w)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	s := NewSGD(0.1)
+	s.WeightDecay = 1
+	w := []float64{2}
+	s.Step(w, []float64{0})
+	// effective gradient = 0 + 1*2 = 2; w = 2 - 0.2 = 1.8
+	if math.Abs(w[0]-1.8) > 1e-12 {
+		t.Fatalf("weight decay: %v", w)
+	}
+}
+
+func TestSGDLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSGD(0.1).Step([]float64{1}, []float64{1, 2})
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = (w-3)², gradient 2(w-3).
+	s := NewSGD(0.1)
+	w := []float64{0}
+	for i := 0; i < 200; i++ {
+		s.Step(w, []float64{2 * (w[0] - 3)})
+	}
+	if math.Abs(w[0]-3) > 1e-6 {
+		t.Fatalf("did not converge: %v", w[0])
+	}
+}
+
+func TestStepScheduleBoundaries(t *testing.T) {
+	sch := StepSchedule{Base: 0.3, Boundaries: []int{80, 120}, Factor: 10}
+	cases := []struct {
+		epoch int
+		want  float64
+	}{
+		{0, 0.3}, {79, 0.3}, {80, 0.03}, {119, 0.03}, {120, 0.003}, {159, 0.003},
+	}
+	for _, c := range cases {
+		if got := sch.At(c.epoch); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("lr at epoch %d = %v, want %v", c.epoch, got, c.want)
+		}
+	}
+}
+
+func TestNewPaperScheduleProportions(t *testing.T) {
+	sch := NewPaperSchedule(0.3, 160)
+	if sch.Boundaries[0] != 80 || sch.Boundaries[1] != 120 {
+		t.Fatalf("boundaries %v, want [80 120]", sch.Boundaries)
+	}
+	sch2 := NewPaperSchedule(0.1, 120)
+	if sch2.Boundaries[0] != 60 || sch2.Boundaries[1] != 90 {
+		t.Fatalf("boundaries %v, want [60 90]", sch2.Boundaries)
+	}
+}

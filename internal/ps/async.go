@@ -1,0 +1,99 @@
+package ps
+
+import (
+	"lcasgd/internal/core"
+	"lcasgd/internal/rng"
+	"lcasgd/internal/simclock"
+)
+
+// runAsync executes ASGD (Formula 2) and DC-ASGD (Formula 3) on the
+// discrete-event simulator. Each worker loops independently: it snapshots
+// the current weights, computes a gradient, and the gradient lands on the
+// server one communication+computation delay later — by which time other
+// workers may have advanced the model, producing genuine gradient
+// staleness. DC-ASGD additionally compensates each arriving gradient with
+// λ·g⊙g⊙(w_now − w_bak), the cheap diagonal-Hessian approximation of Zheng
+// et al.
+func runAsync(env Env) Result {
+	cfg := env.Cfg
+	M := cfg.Workers
+	dc := cfg.Algo == DCASGD
+	seedRng := rng.New(cfg.Seed)
+	modelSeed := seedRng.Uint64()
+	costRng := seedRng.SplitLabeled(200)
+
+	shards := workerData(env, M)
+	reps := make([]*replica, M)
+	for m := 0; m < M; m++ {
+		reps[m] = newReplica(env.Build, modelSeed, shards[m], cfg.BatchSize, seedRng.SplitLabeled(uint64(300+m)))
+	}
+	bnAcc := core.NewBNAccumulator(cfg.BNMode, cfg.BNDecay, reps[0].bns)
+	w := make([]float64, reps[0].nParams)
+	flatten(reps[0], w)
+	bpe := env.Train.Len() / cfg.BatchSize
+	srv := newServer(w, bnAcc, cfg, bpe)
+	rec := newRecorder(env, modelSeed)
+	sampler := cfg.Cost.NewSampler(M, costRng)
+	clock := simclock.New()
+
+	// Per-worker in-flight state.
+	grads := make([][]float64, M)
+	wbak := make([][]float64, M) // DC-ASGD backup of the pulled weights
+	for m := range grads {
+		grads[m] = make([]float64, len(w))
+		if dc {
+			wbak[m] = make([]float64, len(w))
+		}
+	}
+	snapUpdates := make([]int, M)
+	stalenessSum, stalenessN := 0, 0
+
+	var start func(m int)
+	start = func(m int) {
+		if srv.done() {
+			return
+		}
+		rep := reps[m]
+		rep.pull(srv.w, srv.bnAcc)
+		if dc {
+			copy(wbak[m], srv.w)
+		}
+		snapUpdates[m] = srv.updates
+		_, grad := rep.gradient()
+		copy(grads[m], grad)
+		stats := rep.stats()
+		dur := sampler.Comm(m) + sampler.Comp(m) + sampler.Comm(m)
+		clock.ScheduleAfter(dur, func() {
+			if srv.done() {
+				return
+			}
+			stalenessSum += srv.updates - snapUpdates[m]
+			stalenessN++
+			if dc {
+				compensateDC(grads[m], srv.w, wbak[m], cfg.DCLambda)
+			}
+			srv.bnAcc.Update(stats)
+			srv.apply(grads[m], 1)
+			rec.maybeRecord(srv, clock.Now(), false)
+			start(m)
+		})
+	}
+	for m := 0; m < M; m++ {
+		start(m)
+	}
+	clock.Run(func() bool { return srv.done() })
+
+	points := rec.finish(srv, clock.Now())
+	res := Result{Algo: cfg.Algo, BNMode: cfg.BNMode, Points: points, VirtualMs: clock.Now(), Updates: srv.updates}
+	if stalenessN > 0 {
+		res.MeanStaleness = float64(stalenessSum) / float64(stalenessN)
+	}
+	return finalize(res, cfg)
+}
+
+// compensateDC applies Formula 3 in place: g ← g + λ·g⊙g⊙(w_now − w_bak).
+func compensateDC(g, wNow, wBak []float64, lambda float64) {
+	for i := range g {
+		g[i] += lambda * g[i] * g[i] * (wNow[i] - wBak[i])
+	}
+}

@@ -1,0 +1,97 @@
+package ps
+
+import (
+	"lcasgd/internal/core"
+	"lcasgd/internal/data"
+	"lcasgd/internal/nn"
+	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
+)
+
+// evaluator measures the global model's error rate on a dataset. It owns a
+// dedicated replica so evaluation never disturbs worker state, and runs in
+// inference mode so BN uses the server's global running statistics — which
+// is what makes the BN-vs-Async-BN difference measurable (Table 1).
+type evaluator struct {
+	net       *nn.Sequential
+	bns       []*nn.BatchNorm
+	params    []*nn.Param
+	batchSize int
+}
+
+func newEvaluator(build func(*rng.RNG) *nn.Sequential, modelSeed uint64, batchSize int) *evaluator {
+	net := build(rng.New(modelSeed))
+	return &evaluator{net: net, bns: net.BatchNorms(), params: net.Params(), batchSize: batchSize}
+}
+
+// errOn returns the classification error rate of (w, bn stats) on ds.
+func (e *evaluator) errOn(ds *data.Dataset, w []float64, bnAcc *core.BNAccumulator) float64 {
+	nn.UnflattenValues(e.params, w)
+	bnAcc.Apply(e.bns)
+	correct := 0
+	idx := make([]int, 0, e.batchSize)
+	for start := 0; start < ds.Len(); start += e.batchSize {
+		end := start + e.batchSize
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx = idx[:0]
+		for j := start; j < end; j++ {
+			idx = append(idx, j)
+		}
+		x, y := ds.Batch(idx)
+		out := e.net.Forward(x, false)
+		pred := tensor.ArgmaxRows(out)
+		for i, p := range pred {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return 1 - float64(correct)/float64(ds.Len())
+}
+
+// recorder collects curve points at epoch boundaries.
+type recorder struct {
+	env       Env
+	eval      *evaluator
+	evalEvery int
+	lastEpoch int
+	points    []Point
+}
+
+func newRecorder(env Env, modelSeed uint64) *recorder {
+	return &recorder{
+		env:       env,
+		eval:      newEvaluator(env.Build, modelSeed, env.Cfg.EvalBatch),
+		evalEvery: env.Cfg.EvalEvery,
+		lastEpoch: -1,
+	}
+}
+
+// maybeRecord evaluates and appends a point when a new (multiple-of-
+// EvalEvery) epoch boundary has been crossed, or when force is set (final
+// point).
+func (r *recorder) maybeRecord(srv *server, now float64, force bool) {
+	ep := srv.epoch()
+	if !force {
+		if ep == r.lastEpoch || ep%r.evalEvery != 0 {
+			return
+		}
+	}
+	if ep == r.lastEpoch && !force {
+		return
+	}
+	trainErr := r.eval.errOn(r.env.Train, srv.w, srv.bnAcc)
+	testErr := r.eval.errOn(r.env.Test, srv.w, srv.bnAcc)
+	r.lastEpoch = ep
+	r.points = append(r.points, Point{Epoch: ep, Time: now, TrainErr: trainErr, TestErr: testErr})
+}
+
+// finish returns the collected points, guaranteeing a final sample.
+func (r *recorder) finish(srv *server, now float64) []Point {
+	if len(r.points) == 0 || r.points[len(r.points)-1].Epoch != srv.epoch() {
+		r.maybeRecord(srv, now, true)
+	}
+	return r.points
+}

@@ -1,0 +1,188 @@
+package ps
+
+import (
+	"lcasgd/internal/core"
+	"lcasgd/internal/rng"
+	"lcasgd/internal/simclock"
+)
+
+// runLC executes the paper's LC-ASGD (Algorithms 1–4). Each worker
+// iteration has two server interactions:
+//
+//  1. After the forward pass the worker pushes state_m = {loss, BN stats,
+//     t_comm, t_comp}. The server appends m to the iter log (observing the
+//     realized staleness), trains the step predictor and forecasts k_m,
+//     trains the loss predictor and forecasts ℓ_delay over the next k_m
+//     steps (Formula 9), folds the BN statistics in per the BN mode, and
+//     replies with ℓ_delay.
+//  2. The worker computes the compensated gradient (Formula 5 via the
+//     gradient-scaling interpretation) and pushes it; the server applies
+//     Formula 8.
+//
+// The server-side predictor work adds PredVirtualMs to each iteration's
+// virtual critical path, and the real measured predictor times are reported
+// for Tables 2–3.
+func runLC(env Env) Result {
+	cfg := env.Cfg
+	M := cfg.Workers
+	seedRng := rng.New(cfg.Seed)
+	modelSeed := seedRng.Uint64()
+	costRng := seedRng.SplitLabeled(200)
+	predRng := seedRng.SplitLabeled(400)
+
+	shards := workerData(env, M)
+	reps := make([]*replica, M)
+	for m := 0; m < M; m++ {
+		reps[m] = newReplica(env.Build, modelSeed, shards[m], cfg.BatchSize, seedRng.SplitLabeled(uint64(300+m)))
+	}
+	bnAcc := core.NewBNAccumulator(cfg.BNMode, cfg.BNDecay, reps[0].bns)
+	w := make([]float64, reps[0].nParams)
+	flatten(reps[0], w)
+	bpe := env.Train.Len() / cfg.BatchSize
+	srv := newServer(w, bnAcc, cfg, bpe)
+	rec := newRecorder(env, modelSeed)
+	sampler := cfg.Cost.NewSampler(M, costRng)
+	clock := simclock.New()
+
+	iterLog := core.NewIterLog()
+	lossPred := core.NewLossPredictorSized(cfg.LossPredHidden, predRng.SplitLabeled(1))
+	stepPred := core.NewStepPredictorSized(M, cfg.StepPredHidden, predRng.SplitLabeled(2))
+	var emaLoss *emaPredictor
+	if cfg.EMALossPredictor {
+		emaLoss = newEMAPredictor(0.3)
+	}
+
+	grads := make([][]float64, M)
+	for m := range grads {
+		grads[m] = make([]float64, len(w))
+	}
+	snapUpdates := make([]int, M)
+	lastComp := make([]float64, M) // previous iteration's t_comp per worker
+	stalenessSum, stalenessN := 0, 0
+
+	var start func(m int)
+	start = func(m int) {
+		if srv.done() {
+			return
+		}
+		rep := reps[m]
+		// Algorithm 1 lines 1–3: pull weights, record t_comm.
+		rep.pull(srv.w, srv.bnAcc)
+		snapUpdates[m] = srv.updates
+		tcomm := sampler.Comm(m)
+		// Lines 4–8: forward pass, record loss and BN statistics, push state.
+		loss := rep.forward()
+		stats := rep.stats()
+		tcomp := sampler.Comp(m)
+		tfwd := tcomp / 3
+		tbwd := tcomp - tfwd
+		clock.ScheduleAfter(tcomm+tfwd, func() {
+			if srv.done() {
+				return
+			}
+			// Algorithm 2 lines 1–7: server handles state_m.
+			observed := iterLog.Append(m)
+			var k int
+			if cfg.NaiveStepPredictor {
+				k = observed
+				if k < 0 {
+					k = M - 1
+				}
+			} else {
+				k = stepPred.ObserveAndPredict(m, observed, tcomm, lastComp[m])
+			}
+			var ldelay float64
+			if emaLoss != nil {
+				emaLoss.Observe(loss)
+				ldelay = emaLoss.PredictDelay(k)
+			} else {
+				lossPred.Observe(loss)
+				ldelay = lossPred.PredictDelay(loss, k)
+			}
+			srv.bnAcc.Update(stats)
+			// Algorithm 1 lines 9–12: compensated backward pass, push grads.
+			// Compensation is gated off during the first epoch: the online
+			// predictors have not seen enough of the loss series yet, and
+			// the paper itself notes prediction error "generally occurs at
+			// the beginning of the training process".
+			scale := 1.0
+			if srv.batches >= srv.bpe {
+				if cfg.SumCompensation {
+					scale = core.CompensationScaleSum(loss, ldelay, cfg.Lambda)
+				} else {
+					scale = core.CompensationScale(loss, ldelay, k, cfg.Lambda)
+				}
+			}
+			copy(grads[m], rep.backward(scale))
+			lastComp[m] = tbwd
+			clock.ScheduleAfter(cfg.PredVirtualMs+tcomm+tbwd+sampler.Comm(m), func() {
+				if srv.done() {
+					return
+				}
+				stalenessSum += srv.updates - snapUpdates[m]
+				stalenessN++
+				srv.apply(grads[m], 1) // Formula 8
+				rec.maybeRecord(srv, clock.Now(), false)
+				start(m)
+			})
+		})
+	}
+	for m := 0; m < M; m++ {
+		start(m)
+	}
+	clock.Run(func() bool { return srv.done() })
+
+	points := rec.finish(srv, clock.Now())
+	res := Result{
+		Algo:          LCASGD,
+		BNMode:        cfg.BNMode,
+		Points:        points,
+		VirtualMs:     clock.Now(),
+		Updates:       srv.updates,
+		LossTrace:     lossPred.Trace(),
+		StepTrace:     stepPred.Trace(),
+		AvgLossPredMs: lossPred.AvgTrainMs(),
+		AvgStepPredMs: stepPred.AvgTrainMs(),
+	}
+	if stalenessN > 0 {
+		res.MeanStaleness = float64(stalenessSum) / float64(stalenessN)
+	}
+	return finalize(res, cfg)
+}
+
+// emaPredictor is the ablation baseline for the loss predictor: an
+// exponential moving average with linear trend extrapolation.
+type emaPredictor struct {
+	alpha float64
+	level float64
+	trend float64
+	seen  bool
+	last  float64
+}
+
+func newEMAPredictor(alpha float64) *emaPredictor { return &emaPredictor{alpha: alpha} }
+
+// Observe updates the level/trend estimates with a new loss value.
+func (p *emaPredictor) Observe(v float64) {
+	if !p.seen {
+		p.level, p.seen, p.last = v, true, v
+		return
+	}
+	prevLevel := p.level
+	p.level = p.alpha*v + (1-p.alpha)*p.level
+	p.trend = p.alpha*(p.level-prevLevel) + (1-p.alpha)*p.trend
+	p.last = v
+}
+
+// PredictDelay extrapolates k steps ahead and sums, mirroring Formula 9.
+func (p *emaPredictor) PredictDelay(k int) float64 {
+	sum := 0.0
+	for i := 1; i <= k; i++ {
+		v := p.level + float64(i)*p.trend
+		if v < 0 {
+			v = 0
+		}
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,232 @@
+// Package ps implements the five training algorithms the paper evaluates —
+// sequential SGD, synchronous SGD (SSGD, Formula 1), asynchronous SGD
+// (ASGD, Formula 2), delay-compensated ASGD (DC-ASGD, Formula 3, Zheng et
+// al. 2017) and the paper's LC-ASGD (Algorithms 1–4) — as parameter-server
+// strategies executed on a deterministic discrete-event cluster simulation.
+//
+// All algorithms perform the same total amount of sample processing
+// (Epochs × dataset passes), so the error-vs-epoch curves of Figures 3/5
+// compare optimization quality at equal data budgets, while the virtual
+// clock gives the error-vs-seconds curves of Figures 4/6.
+package ps
+
+import (
+	"fmt"
+
+	"lcasgd/internal/cluster"
+	"lcasgd/internal/core"
+	"lcasgd/internal/data"
+	"lcasgd/internal/nn"
+	"lcasgd/internal/opt"
+	"lcasgd/internal/rng"
+)
+
+// Algo identifies a training algorithm.
+type Algo string
+
+// The five algorithms of the paper's evaluation.
+const (
+	SGD    Algo = "SGD"
+	SSGD   Algo = "SSGD"
+	ASGD   Algo = "ASGD"
+	DCASGD Algo = "DC-ASGD"
+	LCASGD Algo = "LC-ASGD"
+)
+
+// Config controls one training run.
+type Config struct {
+	Algo      Algo
+	Workers   int
+	BatchSize int
+	Epochs    int
+	LR        float64 // base learning rate; the paper's step schedule is derived from it
+
+	// Lambda is LC-ASGD's compensation mixing hyper-parameter (Formula 5);
+	// 0 disables compensation, reducing LC-ASGD to ASGD plus BN handling.
+	Lambda float64
+	// DCLambda is DC-ASGD's variance-control parameter λ_t (Formula 3).
+	DCLambda float64
+	// WeightDecay is L2 regularization applied by the server update.
+	WeightDecay float64
+
+	BNMode  core.BNMode
+	BNDecay float64 // EMA factor d of Formulas 6–7
+
+	Seed uint64
+	Cost cluster.CostModel
+
+	EvalEvery int // epochs between curve points (default 1)
+	EvalBatch int // inference batch size (default 150)
+
+	// Predictor sizes; zero means the paper's 64 (loss) and 128 (step).
+	LossPredHidden, StepPredHidden int
+	// PredVirtualMs is the virtual per-iteration server-side prediction
+	// overhead injected into LC-ASGD's timeline (Tables 2–3 report the
+	// real measured times alongside).
+	PredVirtualMs float64
+
+	// Ablations (DESIGN.md).
+	SumCompensation    bool // use the raw-sum compensation scale
+	NaiveStepPredictor bool // last-observed staleness instead of the LSTM
+	EMALossPredictor   bool // EMA extrapolation instead of the LSTM
+
+	// Partitioned gives each worker a disjoint shard of the training set
+	// instead of the paper's shared-data setting — the extension the
+	// paper's conclusion lists as future work.
+	Partitioned bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 1
+	}
+	if c.EvalBatch == 0 {
+		c.EvalBatch = 150
+	}
+	if c.BNDecay == 0 {
+		c.BNDecay = 0.2
+	}
+	if c.LossPredHidden == 0 {
+		c.LossPredHidden = 64
+	}
+	if c.StepPredHidden == 0 {
+		c.StepPredHidden = 128
+	}
+	if c.PredVirtualMs == 0 {
+		c.PredVirtualMs = 2.7
+	}
+	return c
+}
+
+// Env bundles the data and model for a run.
+type Env struct {
+	Train, Test *data.Dataset
+	Build       func(g *rng.RNG) *nn.Sequential
+	Cfg         Config
+}
+
+// Point is one sample of the learning curve.
+type Point struct {
+	Epoch    int
+	Time     float64 // virtual milliseconds since training start
+	TrainErr float64
+	TestErr  float64
+}
+
+// Result is everything a run produces, sufficient to regenerate every
+// figure and table row the run participates in.
+type Result struct {
+	Algo   Algo
+	BNMode core.BNMode
+	Points []Point
+
+	FinalTrainErr, FinalTestErr float64
+	VirtualMs                   float64 // total virtual duration
+	Updates                     int
+	MeanStaleness               float64
+
+	// LC-ASGD extras.
+	LossTrace, StepTrace         []core.TracePoint
+	AvgLossPredMs, AvgStepPredMs float64 // real measured per-call times
+	AvgIterVirtualMs             float64
+}
+
+// Run executes the configured algorithm and returns its result.
+func Run(env Env) Result {
+	cfg := env.Cfg.withDefaults()
+	env.Cfg = cfg
+	if env.Train == nil || env.Test == nil || env.Build == nil {
+		panic("ps: Env requires Train, Test and Build")
+	}
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		panic(fmt.Sprintf("ps: bad batch/epochs in %+v", cfg))
+	}
+	switch cfg.Algo {
+	case SGD:
+		return runSequential(env)
+	case SSGD:
+		return runSSGD(env)
+	case ASGD, DCASGD:
+		return runAsync(env)
+	case LCASGD:
+		return runLC(env)
+	default:
+		panic(fmt.Sprintf("ps: unknown algorithm %q", cfg.Algo))
+	}
+}
+
+// workerData returns each worker's view of the training set: the shared
+// dataset M times in the paper's setting, or disjoint shards when
+// cfg.Partitioned is set.
+func workerData(env Env, m int) []*data.Dataset {
+	if !env.Cfg.Partitioned {
+		out := make([]*data.Dataset, m)
+		for i := range out {
+			out[i] = env.Train
+		}
+		return out
+	}
+	shards := data.Partition(env.Train, m)
+	for i, s := range shards {
+		if s.Len() < env.Cfg.BatchSize {
+			panic(fmt.Sprintf("ps: partitioned shard %d has %d samples < batch %d", i, s.Len(), env.Cfg.BatchSize))
+		}
+	}
+	return shards
+}
+
+// server is the shared parameter-server state: the flat weight vector, the
+// global BN statistics, the LR schedule and the epoch/progress accounting.
+type server struct {
+	w       []float64
+	bnAcc   *core.BNAccumulator
+	sched   opt.StepSchedule
+	wd      float64
+	lrScale float64 // SSGD's linear LR scaling (see runSSGD)
+	bpe     int     // batches per (global) epoch
+	batches int     // batches consumed so far
+	updates int
+	target  int // total batches to consume
+}
+
+func newServer(w []float64, bnAcc *core.BNAccumulator, cfg Config, bpe int) *server {
+	return &server{
+		w:       w,
+		bnAcc:   bnAcc,
+		sched:   opt.NewPaperSchedule(cfg.LR, cfg.Epochs),
+		wd:      cfg.WeightDecay,
+		lrScale: 1,
+		bpe:     bpe,
+		target:  cfg.Epochs * bpe,
+	}
+}
+
+// epoch returns the number of completed global epochs.
+func (s *server) epoch() int { return s.batches / s.bpe }
+
+// done reports whether the sample budget is exhausted.
+func (s *server) done() bool { return s.batches >= s.target }
+
+// lr returns the learning rate in effect now.
+func (s *server) lr() float64 { return s.lrScale * s.sched.At(s.epoch()) }
+
+// apply performs w ← w − γ·(g + wd·w) and accounts for the consumed
+// batches.
+func (s *server) apply(grad []float64, batchesConsumed int) {
+	lr := s.lr()
+	if s.wd != 0 {
+		for i, g := range grad {
+			s.w[i] -= lr * (g + s.wd*s.w[i])
+		}
+	} else {
+		for i, g := range grad {
+			s.w[i] -= lr * g
+		}
+	}
+	s.updates++
+	s.batches += batchesConsumed
+}

@@ -1,0 +1,75 @@
+package ps
+
+import (
+	"lcasgd/internal/core"
+	"lcasgd/internal/data"
+	"lcasgd/internal/nn"
+	"lcasgd/internal/rng"
+)
+
+// replica is one worker's private copy of the model plus its view of the
+// shared dataset. All replicas are built from the same model seed so every
+// algorithm starts from the identical random initialization, as the paper's
+// experimental protocol requires.
+type replica struct {
+	net     *nn.Sequential
+	bns     []*nn.BatchNorm
+	params  []*nn.Param
+	nParams int
+	iter    *data.BatchIter
+	ce      nn.SoftmaxCrossEntropy
+	grad    []float64 // reusable flat gradient buffer
+}
+
+// newReplica builds a worker replica. modelSeed fixes the initialization;
+// dataRng drives this worker's private batch order.
+func newReplica(build func(*rng.RNG) *nn.Sequential, modelSeed uint64, ds *data.Dataset, batch int, dataRng *rng.RNG) *replica {
+	net := build(rng.New(modelSeed))
+	params := net.Params()
+	return &replica{
+		net:     net,
+		bns:     net.BatchNorms(),
+		params:  params,
+		nParams: nn.ParamCount(params),
+		iter:    data.NewBatchIter(ds, batch, dataRng),
+		grad:    make([]float64, nn.ParamCount(params)),
+	}
+}
+
+// pull installs the server's weights and global BN statistics, the worker
+// side of Algorithm 1 lines 1–2.
+func (r *replica) pull(w []float64, bnAcc *core.BNAccumulator) {
+	nn.UnflattenValues(r.params, w)
+	bnAcc.Apply(r.bns)
+}
+
+// forward takes the next mini-batch and runs the forward pass in training
+// mode, returning the batch loss (Algorithm 1 line 4). BN layers capture
+// their batch statistics as a side effect (lines 6–7).
+func (r *replica) forward() float64 {
+	x, y := r.iter.Next()
+	out := r.net.Forward(x, true)
+	return r.ce.Forward(out, y)
+}
+
+// backward runs backpropagation seeded with the given scale (Formula 5's
+// compensation enters here, see core.CompensationScale) and returns the
+// flattened gradient. The returned slice is reused across calls.
+func (r *replica) backward(scale float64) []float64 {
+	r.net.ZeroGrad()
+	r.net.Backward(r.ce.Backward(scale))
+	nn.FlattenGrads(r.grad, r.params)
+	return r.grad
+}
+
+// gradient is forward+backward with no compensation, the whole local step
+// of the non-LC algorithms. It returns the loss and the flat gradient.
+func (r *replica) gradient() (float64, []float64) {
+	loss := r.forward()
+	return loss, r.backward(1)
+}
+
+// stats returns the batch-normalization statistics of the last forward.
+func (r *replica) stats() []core.LayerStats {
+	return core.CollectStats(r.bns)
+}

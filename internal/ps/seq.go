@@ -1,0 +1,74 @@
+package ps
+
+import (
+	"lcasgd/internal/core"
+	"lcasgd/internal/rng"
+)
+
+// runSequential is the single-machine SGD baseline: one replica, no
+// communication, one update per mini-batch. Virtual time advances by the
+// sampled computation cost of each iteration.
+func runSequential(env Env) Result {
+	cfg := env.Cfg
+	seedRng := rng.New(cfg.Seed)
+	modelSeed := seedRng.Uint64()
+	dataRng := seedRng.SplitLabeled(100)
+	costRng := seedRng.SplitLabeled(200)
+
+	rep := newReplica(env.Build, modelSeed, env.Train, cfg.BatchSize, dataRng)
+	bnAcc := core.NewBNAccumulator(core.BNAsync, cfg.BNDecay, rep.bns)
+	w := make([]float64, rep.nParams)
+	flatten(rep, w)
+	bpe := env.Train.Len() / cfg.BatchSize
+	srv := newServer(w, bnAcc, cfg, bpe)
+	rec := newRecorder(env, modelSeed)
+	sampler := cfg.Cost.NewSampler(1, costRng)
+
+	now := 0.0
+	for !srv.done() {
+		rep.pull(srv.w, srv.bnAcc)
+		_, grad := rep.gradient()
+		// Sequential training keeps its own BN running statistics — the
+		// EMA accumulation degenerates to ordinary single-machine BN.
+		srv.bnAcc.Update(rep.stats())
+		srv.apply(grad, 1)
+		now += sampler.Comp(0)
+		rec.maybeRecord(srv, now, false)
+	}
+	points := rec.finish(srv, now)
+	return finalize(Result{Algo: SGD, BNMode: cfg.BNMode, Points: points, VirtualMs: now, Updates: srv.updates}, cfg)
+}
+
+// flatten copies a replica's current parameter values into dst.
+func flatten(r *replica, dst []float64) {
+	off := 0
+	for _, p := range r.params {
+		off += copy(dst[off:], p.Value.Data)
+	}
+}
+
+// finalize fills the derived summary fields of a result. The headline
+// final errors average the last three curve points: with the reproduction's
+// small evaluation sets a single end-point is dominated by sampling noise,
+// and the tail mean is the stable analogue of the paper's reported final
+// test error.
+func finalize(res Result, cfg Config) Result {
+	if n := len(res.Points); n > 0 {
+		lo := n - 3
+		if lo < 0 {
+			lo = 0
+		}
+		var tr, te float64
+		for _, p := range res.Points[lo:] {
+			tr += p.TrainErr
+			te += p.TestErr
+		}
+		cnt := float64(n - lo)
+		res.FinalTrainErr = tr / cnt
+		res.FinalTestErr = te / cnt
+	}
+	if res.Updates > 0 && res.VirtualMs > 0 {
+		res.AvgIterVirtualMs = res.VirtualMs / float64(res.Updates)
+	}
+	return res
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "A", "Algorithm", "Err")
+	tb.AddRow("1", "SGD", "5.15")
+	tb.AddRow("16", "LC-ASGD", "5.52")
+	s := tb.String()
+	if !strings.Contains(s, "Title") || !strings.Contains(s, "LC-ASGD") {
+		t.Fatalf("render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, header, rule, 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+	// Columns align: every data line has the same prefix width for col 2.
+	hdr := lines[1]
+	if !strings.HasPrefix(hdr, "A ") {
+		t.Fatalf("header misaligned: %q", hdr)
+	}
+}
+
+func TestTableRowWidthPanics(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRow("1", "2")
+	csv := tb.CSV()
+	if csv != "x,y\n1,2\n" {
+		t.Fatalf("csv: %q", csv)
+	}
+}
+
+func TestChartContainsSeries(t *testing.T) {
+	s1 := Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}
+	s2 := Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}}
+	out := Chart("test chart", "epoch", "err", 40, 10, s1, s2)
+	if !strings.Contains(out, "test chart") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatalf("chart missing labels:\n%s", out)
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatalf("chart missing markers:\n%s", out)
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	out := Chart("empty", "x", "y", 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{1, 1}, Y: []float64{3, 3}}
+	out := Chart("flat", "x", "y", 20, 6, s)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("degenerate chart: %q", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.0515) != "5.15" {
+		t.Fatalf("Pct: %s", Pct(0.0515))
+	}
+}
+
+func TestDeg(t *testing.T) {
+	if Deg(0.0552, 0.0515) != "+7.18" {
+		t.Fatalf("Deg: %s", Deg(0.0552, 0.0515))
+	}
+	if Deg(0.0487, 0.0515) != "-5.44" {
+		t.Fatalf("Deg: %s", Deg(0.0487, 0.0515))
+	}
+	if Deg(1, 0) != "n/a" {
+		t.Fatal("Deg with zero base")
+	}
+}

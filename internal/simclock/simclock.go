@@ -1,0 +1,109 @@
+// Package simclock is a minimal discrete-event simulator: a virtual clock
+// and a priority queue of timestamped events with deterministic tie-breaking
+// by insertion sequence. The cluster fabric schedules worker compute and
+// communication completions on it, so gradient staleness and the wall-clock
+// axes of the paper's Figures 4 and 6 emerge from event interleaving in
+// virtual time rather than from real hardware.
+package simclock
+
+import "container/heap"
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	At  float64
+	Run func()
+	seq uint64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock owns the virtual time and the pending event queue.
+type Clock struct {
+	now       float64
+	queue     eventHeap
+	nextSeq   uint64
+	processed uint64
+}
+
+// New returns a clock at time 0 with no events.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() float64 { return c.now }
+
+// Processed returns the number of events run so far.
+func (c *Clock) Processed() uint64 { return c.processed }
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// ScheduleAt enqueues run at absolute virtual time at. Scheduling in the
+// past panics: it would silently reorder causality.
+func (c *Clock) ScheduleAt(at float64, run func()) {
+	if at < c.now {
+		panic("simclock: scheduling event in the past")
+	}
+	e := &Event{At: at, Run: run, seq: c.nextSeq}
+	c.nextSeq++
+	heap.Push(&c.queue, e)
+}
+
+// ScheduleAfter enqueues run delay time units from now.
+func (c *Clock) ScheduleAfter(delay float64, run func()) {
+	if delay < 0 {
+		panic("simclock: negative delay")
+	}
+	c.ScheduleAt(c.now+delay, run)
+}
+
+// Step runs the earliest event, advancing the clock to its timestamp. It
+// returns false when the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*Event)
+	c.now = e.At
+	c.processed++
+	e.Run()
+	return true
+}
+
+// RunUntil processes events until the queue empties or the next event lies
+// beyond t; the clock then advances to exactly t (if it got that far).
+func (c *Clock) RunUntil(t float64) {
+	for len(c.queue) > 0 && c.queue[0].At <= t {
+		c.Step()
+	}
+	if c.now < t {
+		c.now = t
+	}
+}
+
+// Run processes events until the queue is empty or stop returns true
+// (checked after each event).
+func (c *Clock) Run(stop func() bool) {
+	for c.Step() {
+		if stop != nil && stop() {
+			return
+		}
+	}
+}

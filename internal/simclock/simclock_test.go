@@ -1,0 +1,153 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lcasgd/internal/rng"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.ScheduleAt(3, func() { order = append(order, 3) })
+	c.ScheduleAt(1, func() { order = append(order, 1) })
+	c.ScheduleAt(2, func() { order = append(order, 2) })
+	c.Run(nil)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if c.Now() != 3 {
+		t.Fatalf("clock at %v", c.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.ScheduleAt(5, func() { order = append(order, i) })
+	}
+	c.Run(nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleAfterRelative(t *testing.T) {
+	c := New()
+	var at float64
+	c.ScheduleAt(10, func() {
+		c.ScheduleAfter(5, func() { at = c.Now() })
+	})
+	c.Run(nil)
+	if at != 15 {
+		t.Fatalf("nested ScheduleAfter fired at %v", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.ScheduleAt(10, func() {})
+	c.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.ScheduleAt(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().ScheduleAfter(-1, func() {})
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	c := New()
+	fired := 0
+	c.ScheduleAt(1, func() { fired++ })
+	c.ScheduleAt(2, func() { fired++ })
+	c.ScheduleAt(9, func() { fired++ })
+	c.RunUntil(5)
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2", fired)
+	}
+	if c.Now() != 5 {
+		t.Fatalf("clock %v, want 5", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending %d", c.Pending())
+	}
+}
+
+func TestRunWithStopPredicate(t *testing.T) {
+	c := New()
+	count := 0
+	for i := 1; i <= 100; i++ {
+		c.ScheduleAt(float64(i), func() { count++ })
+	}
+	c.Run(func() bool { return count >= 10 })
+	if count != 10 {
+		t.Fatalf("stop predicate ignored: %d", count)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	c := New()
+	for i := 0; i < 7; i++ {
+		c.ScheduleAfter(float64(i), func() {})
+	}
+	c.Run(nil)
+	if c.Processed() != 7 {
+		t.Fatalf("processed %d", c.Processed())
+	}
+}
+
+// TestClockMonotonicQuick: however events are scheduled, observed event
+// times are non-decreasing.
+func TestClockMonotonicQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		c := New()
+		var times []float64
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			n := g.Intn(4) + 1
+			for i := 0; i < n; i++ {
+				d := g.Float64() * 10
+				c.ScheduleAfter(d, func() {
+					times = append(times, c.Now())
+					if depth < 3 && g.Float64() < 0.5 {
+						schedule(depth + 1)
+					}
+				})
+			}
+		}
+		schedule(0)
+		c.Run(nil)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

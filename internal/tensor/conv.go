@@ -1,0 +1,118 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution: input channels and
+// spatial size, kernel size, stride, and zero padding. Output spatial size is
+// derived. Square kernels and inputs are assumed (all the paper's networks
+// use square 3×3/1×1 kernels on square feature maps).
+type ConvGeom struct {
+	InC, InH, InW int
+	KH, KW        int
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// ColRows returns the number of rows of the im2col matrix for one image.
+func (g ConvGeom) ColRows() int { return g.OutH() * g.OutW() }
+
+// ColCols returns the number of columns of the im2col matrix.
+func (g ConvGeom) ColCols() int { return g.InC * g.KH * g.KW }
+
+// Validate checks the geometry is self-consistent.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive dims: %+v", g)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("tensor: conv stride must be positive, got %d", g.Stride)
+	}
+	if g.Pad < 0 {
+		return fmt.Errorf("tensor: conv pad must be non-negative, got %d", g.Pad)
+	}
+	if g.InH+2*g.Pad < g.KH || g.InW+2*g.Pad < g.KW {
+		return fmt.Errorf("tensor: kernel larger than padded input: %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers one image (shape [InC, InH, InW] flattened) into a matrix of
+// shape [OutH*OutW, InC*KH*KW] so convolution becomes a matmul with the
+// [InC*KH*KW, OutC] weight matrix. dst must have ColRows()*ColCols()
+// elements.
+func Im2Col(dst []float64, img []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := g.ColCols()
+	if len(dst) != outH*outW*cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst len %d, want %d", len(dst), outH*outW*cols))
+	}
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col img len %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	idx := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				chBase := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					rowOK := iy >= 0 && iy < g.InH
+					rowBase := chBase + iy*g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if rowOK && ix >= 0 && ix < g.InW {
+							dst[idx] = img[rowBase+ix]
+						} else {
+							dst[idx] = 0
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix's gradient back into image layout,
+// accumulating overlapping patches — the adjoint of Im2Col. dst (the image
+// gradient, [InC, InH, InW] flattened) is accumulated into, not zeroed.
+func Col2Im(dst []float64, col []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := g.ColCols()
+	if len(col) != outH*outW*cols {
+		panic(fmt.Sprintf("tensor: Col2Im col len %d, want %d", len(col), outH*outW*cols))
+	}
+	if len(dst) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im dst len %d, want %d", len(dst), g.InC*g.InH*g.InW))
+	}
+	idx := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				chBase := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					rowOK := iy >= 0 && iy < g.InH
+					rowBase := chBase + iy*g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if rowOK && ix >= 0 && ix < g.InW {
+							dst[rowBase+ix] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

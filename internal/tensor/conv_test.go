@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcasgd/internal/rng"
+)
+
+func TestConvGeomDerived(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if g.OutH() != 8 || g.OutW() != 8 {
+		t.Fatalf("same-padding 3x3: out %dx%d", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if g2.OutH() != 4 || g2.OutW() != 4 {
+		t.Fatalf("stride-2: out %dx%d", g2.OutH(), g2.OutW())
+	}
+	if g.ColRows() != 64 || g.ColCols() != 27 {
+		t.Fatalf("col dims %dx%d", g.ColRows(), g.ColCols())
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	good := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 0}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []ConvGeom{
+		{InC: 0, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 0},
+		{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: -1},
+		{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, Stride: 1, Pad: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("bad geometry %d accepted: %+v", i, g)
+		}
+	}
+}
+
+// naiveConv performs direct convolution of one image with one filter for
+// cross-checking the im2col path.
+func naiveConv(img []float64, w []float64, g ConvGeom) []float64 {
+	outH, outW := g.OutH(), g.OutW()
+	out := make([]float64, outH*outW)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			s := 0.0
+			for c := 0; c < g.InC; c++ {
+				for ky := 0; ky < g.KH; ky++ {
+					for kx := 0; kx < g.KW; kx++ {
+						iy := oy*g.Stride - g.Pad + ky
+						ix := ox*g.Stride - g.Pad + kx
+						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+							continue
+						}
+						s += img[c*g.InH*g.InW+iy*g.InW+ix] * w[c*g.KH*g.KW+ky*g.KW+kx]
+					}
+				}
+			}
+			out[oy*outW+ox] = s
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	geoms := []ConvGeom{
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 2, InH: 7, InW: 7, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		{InC: 4, InH: 5, InW: 5, KH: 1, KW: 1, Stride: 1, Pad: 0},
+		{InC: 1, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 0},
+	}
+	for gi, g := range geoms {
+		r := rng.New(uint64(gi) + 100)
+		img := make([]float64, g.InC*g.InH*g.InW)
+		w := make([]float64, g.ColCols())
+		r.FillNormal(img, 1)
+		r.FillNormal(w, 1)
+		col := make([]float64, g.ColRows()*g.ColCols())
+		Im2Col(col, img, g)
+		// conv = col @ w  (treat w as a single output filter)
+		colT := FromSlice(col, g.ColRows(), g.ColCols())
+		wT := FromSlice(w, g.ColCols(), 1)
+		got := MatMul(colT, wT)
+		want := naiveConv(img, w, g)
+		for i := range want {
+			if math.Abs(got.Data[i]-want[i]) > 1e-10 {
+				t.Fatalf("geom %d: im2col conv mismatch at %d: %v vs %v", gi, i, got.Data[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCol2ImIsAdjoint checks <Im2Col(x), y> == <x, Col2Im(y)> — the defining
+// property of an adjoint pair, which is exactly what backprop requires.
+func TestCol2ImIsAdjoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+		r := rng.New(seed)
+		x := make([]float64, g.InC*g.InH*g.InW)
+		y := make([]float64, g.ColRows()*g.ColCols())
+		r.FillNormal(x, 1)
+		r.FillNormal(y, 1)
+
+		colX := make([]float64, len(y))
+		Im2Col(colX, x, g)
+		lhs := 0.0
+		for i := range y {
+			lhs += colX[i] * y[i]
+		}
+
+		imY := make([]float64, len(x))
+		Col2Im(imY, y, g)
+		rhs := 0.0
+		for i := range x {
+			rhs += x[i] * imY[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-8*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImAccumulates(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	col := make([]float64, g.ColRows()*g.ColCols())
+	for i := range col {
+		col[i] = 1
+	}
+	dst := make([]float64, 16)
+	dst[0] = 5 // pre-existing content must be preserved (accumulation)
+	Col2Im(dst, col, g)
+	if dst[0] <= 5 {
+		t.Fatalf("Col2Im must accumulate, got dst[0]=%v", dst[0])
+	}
+	// Center pixel participates in all 9 kernel positions; corner in 4.
+	center := dst[1*4+1]
+	if center != 9 {
+		t.Fatalf("center accumulation = %v, want 9", center)
+	}
+}
+
+func TestIm2ColPanicsOnBadSizes(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Im2Col(make([]float64, 3), make([]float64, 16), g)
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// maxProcs caps the matmul worker count. It is a variable so tests can
+// exercise the sequential and parallel paths deterministically.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// SetMatmulParallelism overrides the number of goroutines used by MatMul.
+// n <= 1 forces the sequential path. It returns the previous value.
+func SetMatmulParallelism(n int) int {
+	old := maxProcs
+	if n < 1 {
+		n = 1
+	}
+	maxProcs = n
+	return old
+}
+
+// parallelRowThreshold is the minimum amount of scalar work before MatMul
+// spawns goroutines; below it the goroutine overhead dominates.
+const parallelRowThreshold = 64 * 64 * 64
+
+// MatMul returns a @ b for 2-D tensors a [m,k] and b [k,n].
+//
+// The kernel is an ikj-ordered loop over the output with the inner dimension
+// streamed from b's rows, which is cache-friendly for row-major data, and is
+// parallelized over row blocks of a. Row-block partitioning keeps the
+// floating-point accumulation order identical regardless of the number of
+// goroutines, so results are bit-reproducible across machines.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	matMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a @ b into a preallocated dst, avoiding the
+// allocation in hot training loops. dst must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shapes dst%v a%v b%v", dst.Shape, a.Shape, b.Shape))
+	}
+	dst.Zero()
+	matMulInto(dst, a, b)
+}
+
+func matMulInto(out, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	work := m * k * n
+	procs := maxProcs
+	if work < parallelRowThreshold || procs <= 1 || m == 1 {
+		matMulRows(out, a, b, 0, m)
+		return
+	}
+	if procs > m {
+		procs = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + procs - 1) / procs
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [lo, hi) of out = a @ b using the ikj ordering.
+func matMulRows(out, a, b *Tensor, lo, hi int) {
+	k := a.Shape[1]
+	n := b.Shape[1]
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ @ b without materializing the transpose of a.
+// a has shape [k, m] (so aᵀ is [m, k]) and b has shape [k, n].
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, b.Shape[0]))
+	}
+	n := b.Shape[1]
+	out := New(m, n)
+	// out[i][j] = sum_p a[p][i] * b[p][j]; stream over p for locality.
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a @ bᵀ without materializing the transpose of b.
+// a has shape [m, k] and b has shape [n, k].
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, b.Shape[1]))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcasgd/internal/rng"
+)
+
+// naiveMatMul is the reference ijk implementation the optimized kernels are
+// validated against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randMat(g *rng.RNG, r, c int) *Tensor {
+	t := New(r, c)
+	g.FillNormal(t.Data, 1)
+	return t
+}
+
+func maxDiff(a, b *Tensor) float64 {
+	m := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul: got %v want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	g := rng.New(3)
+	a := randMat(g, 7, 7)
+	eye := New(7, 7)
+	for i := 0; i < 7; i++ {
+		eye.Set(i, i, 1)
+	}
+	if maxDiff(MatMul(a, eye), a) != 0 {
+		t.Fatal("A @ I != A")
+	}
+	if maxDiff(MatMul(eye, a), a) != 0 {
+		t.Fatal("I @ A != A")
+	}
+}
+
+func TestMatMulAgainstNaiveQuick(t *testing.T) {
+	f := func(seed uint64, mr, kr, nr uint8) bool {
+		m, k, n := int(mr%16)+1, int(kr%16)+1, int(nr%16)+1
+		g := rng.New(seed)
+		a := randMat(g, m, k)
+		b := randMat(g, k, n)
+		return maxDiff(MatMul(a, b), naiveMatMul(a, b)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulParallelMatchesSequential(t *testing.T) {
+	g := rng.New(9)
+	a := randMat(g, 130, 90)
+	b := randMat(g, 90, 110)
+	old := SetMatmulParallelism(1)
+	seq := MatMul(a, b)
+	SetMatmulParallelism(8)
+	par := MatMul(a, b)
+	SetMatmulParallelism(old)
+	if maxDiff(seq, par) != 0 {
+		t.Fatal("parallel matmul is not bit-identical to sequential")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dim mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulInto(t *testing.T) {
+	g := rng.New(21)
+	a := randMat(g, 5, 6)
+	b := randMat(g, 6, 4)
+	dst := New(5, 4)
+	dst.Fill(99) // must be overwritten, not accumulated
+	MatMulInto(dst, a, b)
+	if maxDiff(dst, naiveMatMul(a, b)) > 1e-10 {
+		t.Fatal("MatMulInto mismatch")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	g := rng.New(33)
+	a := randMat(g, 8, 5) // aᵀ is 5x8
+	b := randMat(g, 8, 6)
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	if maxDiff(got, want) > 1e-10 {
+		t.Fatal("MatMulTransA mismatch")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	g := rng.New(35)
+	a := randMat(g, 4, 7)
+	b := randMat(g, 9, 7) // bᵀ is 7x9
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose(b))
+	if maxDiff(got, want) > 1e-10 {
+		t.Fatal("MatMulTransB mismatch")
+	}
+}
+
+func TestMatMulAssociativityQuick(t *testing.T) {
+	// (AB)C == A(BC) within float tolerance for modest sizes.
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		a := randMat(g, 6, 5)
+		b := randMat(g, 5, 7)
+		c := randMat(g, 7, 4)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return maxDiff(left, right) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	g := rng.New(1)
+	x := randMat(g, 128, 128)
+	y := randMat(g, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulInto128(b *testing.B) {
+	g := rng.New(1)
+	x := randMat(g, 128, 128)
+	y := randMat(g, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}

@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add computes dst = a + b elementwise. dst may alias a or b.
+func Add(dst, a, b *Tensor) {
+	checkSameLen("Add", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b *Tensor) {
+	checkSameLen("Sub", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Mul computes dst = a ⊙ b (elementwise / Hadamard product), the operation
+// at the heart of DC-ASGD's Formula 3.
+func Mul(dst, a, b *Tensor) {
+	checkSameLen("Mul", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Scale computes dst = s * a.
+func Scale(dst, a *Tensor, s float64) {
+	checkSameLen("Scale", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+}
+
+// AXPY computes dst += alpha * x, the SGD weight-update kernel.
+func AXPY(dst *Tensor, alpha float64, x *Tensor) {
+	checkSameLen("AXPY", dst, x)
+	for i := range dst.Data {
+		dst.Data[i] += alpha * x.Data[i]
+	}
+}
+
+// AddScalar computes dst = a + s.
+func AddScalar(dst, a *Tensor, s float64) {
+	checkSameLen("AddScalar", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + s
+	}
+}
+
+// Apply sets dst[i] = f(a[i]).
+func Apply(dst, a *Tensor, f func(float64) float64) {
+	checkSameLen("Apply", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = f(a.Data[i])
+	}
+}
+
+// ReLU computes dst = max(a, 0).
+func ReLU(dst, a *Tensor) {
+	checkSameLen("ReLU", dst, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// ReLUBackward computes dst = grad where x > 0, else 0.
+func ReLUBackward(dst, grad, x *Tensor) {
+	checkSameLen("ReLUBackward", dst, grad, x)
+	for i := range dst.Data {
+		if x.Data[i] > 0 {
+			dst.Data[i] = grad.Data[i]
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// Transpose returns a new tensor that is the transpose of the 2-D tensor a.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs rank 2, got shape %v", a.Shape))
+	}
+	r, c := a.Shape[0], a.Shape[1]
+	out := New(c, r)
+	const block = 32 // cache-blocked transpose
+	for ib := 0; ib < r; ib += block {
+		imax := min(ib+block, r)
+		for jb := 0; jb < c; jb += block {
+			jmax := min(jb+block, c)
+			for i := ib; i < imax; i++ {
+				row := a.Data[i*c : (i+1)*c]
+				for j := jb; j < jmax; j++ {
+					out.Data[j*r+i] = row[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RowSum computes, for a 2-D tensor a of shape [r, c], the per-column sum
+// over rows, returning a tensor of shape [c]. Used for bias gradients.
+func RowSum(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: RowSum needs rank 2, got shape %v", a.Shape))
+	}
+	r, c := a.Shape[0], a.Shape[1]
+	out := New(c)
+	for i := 0; i < r; i++ {
+		row := a.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// AddRowVector computes dst = a + broadcast(v) where v has shape [c] and a
+// has shape [r, c]. Used for bias addition.
+func AddRowVector(dst, a, v *Tensor) {
+	if a.Rank() != 2 || v.Len() != a.Shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector shapes %v %v", a.Shape, v.Shape))
+	}
+	checkSameLen("AddRowVector", dst, a)
+	c := a.Shape[1]
+	for i := 0; i < a.Shape[0]; i++ {
+		base := i * c
+		for j := 0; j < c; j++ {
+			dst.Data[base+j] = a.Data[base+j] + v.Data[j]
+		}
+	}
+}
+
+// Softmax computes row-wise softmax of the 2-D tensor logits into dst with
+// the standard max-subtraction trick for numerical stability.
+func Softmax(dst, logits *Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Softmax needs rank 2, got %v", logits.Shape))
+	}
+	checkSameLen("Softmax", dst, logits)
+	r, c := logits.Shape[0], logits.Shape[1]
+	for i := 0; i < r; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		out := dst.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			out[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}
+
+// ArgmaxRows returns, for a 2-D tensor, the index of the max element in each
+// row. Used to turn logits into class predictions.
+func ArgmaxRows(a *Tensor) []int {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: ArgmaxRows needs rank 2, got %v", a.Shape))
+	}
+	r, c := a.Shape[0], a.Shape[1]
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		row := a.Data[i*c : (i+1)*c]
+		best, bestj := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bestj = v, j+1
+			}
+		}
+		out[i] = bestj
+	}
+	return out
+}
+
+// ClipInPlace clamps every element of t into [-limit, limit]. Gradient
+// clipping keeps the online LSTM predictors stable.
+func ClipInPlace(t *Tensor, limit float64) {
+	for i, v := range t.Data {
+		if v > limit {
+			t.Data[i] = limit
+		} else if v < -limit {
+			t.Data[i] = -limit
+		}
+	}
+}
+
+func checkSameLen(op string, ts ...*Tensor) {
+	n := len(ts[0].Data)
+	for _, t := range ts[1:] {
+		if len(t.Data) != n {
+			panic(fmt.Sprintf("tensor: %s length mismatch %d vs %d", op, n, len(t.Data)))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

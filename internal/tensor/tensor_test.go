@@ -1,0 +1,263 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcasgd/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(3, 4, 5)
+	if x.Len() != 60 || x.Rank() != 3 || x.Dim(1) != 4 {
+		t.Fatalf("bad tensor: %v", x.Shape)
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialize")
+		}
+	}
+}
+
+func TestNewPanicsNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceRoundTrip(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	x := FromSlice(d, 2, 3)
+	if x.At(1, 2) != 6 || x.At(0, 0) != 1 {
+		t.Fatalf("indexing broken: %v", x)
+	}
+	x.Set(0, 1, 9)
+	if d[1] != 9 {
+		t.Fatal("FromSlice must alias the input slice")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 42
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 3)
+	y := x.Reshape(3, 2)
+	y.Data[0] = 7
+	if x.Data[0] != 7 {
+		t.Fatal("Reshape must share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad reshape")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	dst := New(3)
+	Add(dst, a, b)
+	if dst.Data[2] != 9 {
+		t.Fatalf("Add: %v", dst.Data)
+	}
+	Sub(dst, b, a)
+	if dst.Data[0] != 3 {
+		t.Fatalf("Sub: %v", dst.Data)
+	}
+	Mul(dst, a, b)
+	if dst.Data[1] != 10 {
+		t.Fatalf("Mul: %v", dst.Data)
+	}
+	Scale(dst, a, -2)
+	if dst.Data[2] != -6 {
+		t.Fatalf("Scale: %v", dst.Data)
+	}
+	AXPY(dst, 1, a) // dst = -2a + a = -a
+	if dst.Data[2] != -3 {
+		t.Fatalf("AXPY: %v", dst.Data)
+	}
+}
+
+func TestApplyAndAddScalar(t *testing.T) {
+	a := FromSlice([]float64{1, 4, 9}, 3)
+	dst := New(3)
+	Apply(dst, a, math.Sqrt)
+	if dst.Data[2] != 3 {
+		t.Fatalf("Apply: %v", dst.Data)
+	}
+	AddScalar(dst, a, 1)
+	if dst.Data[0] != 2 {
+		t.Fatalf("AddScalar: %v", dst.Data)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	x := FromSlice([]float64{-1, 0, 2}, 3)
+	y := New(3)
+	ReLU(y, x)
+	if y.Data[0] != 0 || y.Data[1] != 0 || y.Data[2] != 2 {
+		t.Fatalf("ReLU: %v", y.Data)
+	}
+	g := FromSlice([]float64{10, 10, 10}, 3)
+	dx := New(3)
+	ReLUBackward(dx, g, x)
+	if dx.Data[0] != 0 || dx.Data[1] != 0 || dx.Data[2] != 10 {
+		t.Fatalf("ReLUBackward: %v", dx.Data)
+	}
+}
+
+func TestTransposeKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose(a)
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i, v := range want {
+		if at.Data[i] != v {
+			t.Fatalf("Transpose: got %v want %v", at.Data, want)
+		}
+	}
+}
+
+func TestTransposeInvolutionQuick(t *testing.T) {
+	f := func(seed uint64, rRaw, cRaw uint8) bool {
+		r := int(rRaw%40) + 1
+		c := int(cRaw%40) + 1
+		g := rng.New(seed)
+		a := New(r, c)
+		g.FillNormal(a.Data, 1)
+		att := Transpose(Transpose(a))
+		for i := range a.Data {
+			if a.Data[i] != att.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowSum(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	s := RowSum(a)
+	want := []float64{5, 7, 9}
+	for i, v := range want {
+		if s.Data[i] != v {
+			t.Fatalf("RowSum: %v", s.Data)
+		}
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	v := FromSlice([]float64{10, 20}, 2)
+	dst := New(2, 2)
+	AddRowVector(dst, a, v)
+	want := []float64{11, 22, 13, 24}
+	for i := range want {
+		if dst.Data[i] != want[i] {
+			t.Fatalf("AddRowVector: %v", dst.Data)
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	g := rng.New(5)
+	a := New(8, 10)
+	g.FillNormal(a.Data, 3)
+	s := New(8, 10)
+	Softmax(s, a)
+	for i := 0; i < 8; i++ {
+		sum := 0.0
+		for j := 0; j < 10; j++ {
+			v := s.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if !almostEq(sum, 1, 1e-12) {
+			t.Fatalf("softmax row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxStableWithLargeLogits(t *testing.T) {
+	a := FromSlice([]float64{1000, 1001, 999}, 1, 3)
+	s := New(1, 3)
+	Softmax(s, a)
+	if s.HasNaN() {
+		t.Fatal("softmax overflowed on large logits")
+	}
+	if s.Data[1] < s.Data[0] || s.Data[0] < s.Data[2] {
+		t.Fatalf("softmax ordering wrong: %v", s.Data)
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	a := FromSlice([]float64{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := ArgmaxRows(a)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgmaxRows: %v", got)
+	}
+}
+
+func TestClipInPlace(t *testing.T) {
+	a := FromSlice([]float64{-10, 0.5, 10}, 3)
+	ClipInPlace(a, 1)
+	if a.Data[0] != -1 || a.Data[1] != 0.5 || a.Data[2] != 1 {
+		t.Fatalf("Clip: %v", a.Data)
+	}
+}
+
+func TestSumMeanDotNorm(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	if a.Sum() != 7 || a.Mean() != 3.5 {
+		t.Fatal("Sum/Mean broken")
+	}
+	if a.Dot(a) != 25 || a.Norm2() != 5 {
+		t.Fatal("Dot/Norm2 broken")
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatal("MaxAbs broken")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := FromSlice([]float64{1, math.NaN()}, 2)
+	if !a.HasNaN() {
+		t.Fatal("HasNaN missed NaN")
+	}
+	b := FromSlice([]float64{1, math.Inf(1)}, 2)
+	if !b.HasNaN() {
+		t.Fatal("HasNaN missed Inf")
+	}
+	c := FromSlice([]float64{1, 2}, 2)
+	if c.HasNaN() {
+		t.Fatal("HasNaN false positive")
+	}
+}

@@ -1,0 +1,145 @@
+// Package trainer wires datasets, models, cost models and algorithms into
+// the experiment cells of the paper's evaluation, and provides the
+// experiment functions behind each figure and table (see the experiment
+// index in DESIGN.md).
+package trainer
+
+import (
+	"lcasgd/internal/cluster"
+	"lcasgd/internal/core"
+	"lcasgd/internal/data"
+	"lcasgd/internal/model"
+	"lcasgd/internal/ps"
+)
+
+// Profile is one (dataset, model, training recipe) combination. Quick
+// profiles keep CPU cost low enough for `go test -bench`; Full profiles are
+// closer to paper scale and are run through cmd/lcexp.
+type Profile struct {
+	Name    string
+	Data    data.Config
+	Model   model.Config
+	Batch   int
+	Epochs  int
+	LR      float64
+	WD      float64 // weight decay
+	Lambda  float64 // LC-ASGD compensation mixing
+	DCLam   float64 // DC-ASGD variance control
+	Cost    cluster.CostModel
+	BNDecay float64
+
+	// Predictor widths (paper: 64/128). Quick profiles shrink them to keep
+	// the online LSTM training affordable on one CPU.
+	LossPredHidden, StepPredHidden int
+}
+
+// QuickCIFAR is the CPU-budget CIFAR-10-like cell used by tests and benches.
+func QuickCIFAR() Profile {
+	d := data.CIFARConfig()
+	d.Train, d.Test = 800, 200
+	m := model.Config{
+		Name: "cifarq", InC: 3, InH: 8, InW: 8,
+		Stem: 6, StageReps: []int{1, 1, 1}, NumClasses: 10,
+	}
+	return Profile{
+		Name: "cifar-quick", Data: d, Model: m,
+		Batch: 20, Epochs: 12, LR: 0.08, WD: 5e-3, Lambda: 1, DCLam: 0.3,
+		Cost: cluster.CIFARCostModel(), BNDecay: 0.2,
+		LossPredHidden: 24, StepPredHidden: 32,
+	}
+}
+
+// FullCIFAR approaches the paper's CIFAR-10 setting (scaled per DESIGN.md).
+func FullCIFAR() Profile {
+	p := QuickCIFAR()
+	p.Name = "cifar-full"
+	p.Data = data.CIFARConfig()
+	p.Model = model.ResNetLite18(10)
+	p.Batch = 50
+	p.Epochs = 40
+	p.LossPredHidden, p.StepPredHidden = 64, 128
+	return p
+}
+
+// QuickImageNet is the CPU-budget ImageNet-like cell.
+func QuickImageNet() Profile {
+	d := data.ImageNetConfig()
+	d.Train, d.Test = 1080, 270
+	// The quick profile trades sample count for task difficulty: with 40
+	// samples per class (vs the full profile's 100) the prototypes carry
+	// more signal so the task stays learnable inside the CPU budget.
+	d.SignalScale = 0.42
+	m := model.Config{
+		Name: "imagenetq", InC: 3, InH: 12, InW: 12,
+		Stem: 8, StageReps: []int{1, 1, 1}, NumClasses: 27,
+	}
+	return Profile{
+		Name: "imagenet-quick", Data: d, Model: m,
+		Batch: 27, Epochs: 8, LR: 0.08, WD: 5e-3, Lambda: 1, DCLam: 0.3,
+		Cost: cluster.ImageNetCostModel(), BNDecay: 0.2,
+		LossPredHidden: 24, StepPredHidden: 32,
+	}
+}
+
+// FullImageNet approaches the paper's ImageNet setting (scaled).
+func FullImageNet() Profile {
+	p := QuickImageNet()
+	p.Name = "imagenet-full"
+	p.Data = data.ImageNetConfig()
+	p.Model = model.ResNetLite50(27)
+	p.Batch = 50
+	p.Epochs = 24
+	p.LossPredHidden, p.StepPredHidden = 64, 128
+	return p
+}
+
+// RunCell executes one experiment cell under the profile. Dataset
+// generation is deterministic, so repeated cells see identical data.
+func RunCell(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64) ps.Result {
+	train, test := data.Generate(p.Data)
+	cfg := ps.Config{
+		Algo:           algo,
+		Workers:        workers,
+		BatchSize:      p.Batch,
+		Epochs:         p.Epochs,
+		LR:             p.LR,
+		Lambda:         p.Lambda,
+		DCLambda:       p.DCLam,
+		WeightDecay:    p.WD,
+		BNMode:         bnMode,
+		BNDecay:        p.BNDecay,
+		Seed:           seed,
+		Cost:           p.Cost,
+		LossPredHidden: p.LossPredHidden,
+		StepPredHidden: p.StepPredHidden,
+	}
+	env := ps.Env{Train: train, Test: test, Build: p.Model.Build, Cfg: cfg}
+	return ps.Run(env)
+}
+
+// RunCellCfg is RunCell with full control of the ps.Config for ablations:
+// mutate receives the assembled config before the run.
+func RunCellCfg(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64, mutate func(*ps.Config)) ps.Result {
+	train, test := data.Generate(p.Data)
+	cfg := ps.Config{
+		Algo:           algo,
+		Workers:        workers,
+		BatchSize:      p.Batch,
+		Epochs:         p.Epochs,
+		LR:             p.LR,
+		Lambda:         p.Lambda,
+		DCLambda:       p.DCLam,
+		WeightDecay:    p.WD,
+		BNMode:         bnMode,
+		BNDecay:        p.BNDecay,
+		Seed:           seed,
+		Cost:           p.Cost,
+		LossPredHidden: p.LossPredHidden,
+		StepPredHidden: p.StepPredHidden,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	env := ps.Env{Train: train, Test: test, Build: p.Model.Build, Cfg: cfg}
+	return ps.Run(env)
+}
