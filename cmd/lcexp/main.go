@@ -16,7 +16,8 @@
 //
 // -full switches from the quick CPU-budget profiles to the paper-scale
 // ones; -seeds averages headline tables over several seeds; -csv emits the
-// series as CSV instead of charts.
+// series as CSV instead of charts; -parallel fans worker compute across
+// goroutines (bit-identical results, faster wall-clock on multi-core).
 package main
 
 import (
@@ -25,23 +26,29 @@ import (
 	"os"
 	"strings"
 
+	"lcasgd/internal/ps"
 	"lcasgd/internal/trainer"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig2..fig8, tab1..tab3, all")
-		workers = flag.Int("workers", 0, "restrict figure panels to one worker count (0 = all of 4,8,16)")
-		full    = flag.Bool("full", false, "use the paper-scale profiles (slow) instead of quick ones")
-		seeds   = flag.Int("seeds", 1, "number of seeds to average in tab1")
-		seed    = flag.Uint64("seed", 7, "base random seed")
-		csv     = flag.Bool("csv", false, "emit figure series as CSV tables instead of ASCII charts")
+		exp      = flag.String("exp", "all", "experiment id: fig2..fig8, tab1..tab3, all")
+		workers  = flag.Int("workers", 0, "restrict figure panels to one worker count (0 = all of 4,8,16)")
+		full     = flag.Bool("full", false, "use the paper-scale profiles (slow) instead of quick ones")
+		seeds    = flag.Int("seeds", 1, "number of seeds to average in tab1")
+		seed     = flag.Uint64("seed", 7, "base random seed")
+		csv      = flag.Bool("csv", false, "emit figure series as CSV tables instead of ASCII charts")
+		parallel = flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical, multi-core)")
 	)
 	flag.Parse()
 
 	cifar, imagenet := trainer.QuickCIFAR(), trainer.QuickImageNet()
 	if *full {
 		cifar, imagenet = trainer.FullCIFAR(), trainer.FullImageNet()
+	}
+	if *parallel {
+		cifar.Backend = ps.BackendConcurrent
+		imagenet.Backend = ps.BackendConcurrent
 	}
 	ms := trainer.WorkerCounts
 	if *workers != 0 {

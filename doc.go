@@ -6,4 +6,28 @@
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory); cmd/lcexp regenerates every figure and table of the paper's
 // evaluation, and bench_test.go provides one benchmark per artifact.
+//
+// # Training engine
+//
+// The training system in internal/ps is layered:
+//
+//   - Engine owns everything a run shares across algorithms: the worker
+//     replica fleet and its data shards, the parameter server, the BN
+//     statistics accumulator, the cost sampler, the learning-curve
+//     recorder, and the discrete-event clock.
+//   - Strategy is the algorithm: how worker iterations are scheduled on the
+//     virtual clock and how their gradients become server updates. The five
+//     paper algorithms (SGD, SSGD, ASGD, DC-ASGD, LC-ASGD) are compact
+//     Strategy implementations; ps.RegisterStrategy installs new ones,
+//     which then run through ps.Run like the built-ins.
+//   - Backend executes worker-local compute. ps.BackendSequential runs it
+//     inline on the event loop — the deterministic simulator the paper
+//     harness requires. ps.BackendConcurrent fans forward/backward passes
+//     and evaluation batches across goroutines while the event loop keeps
+//     committing server updates in simulated-clock order, so its results
+//     are bit-identical to the sequential backend while wall-clock time
+//     drops on multi-core (cmd/lcexp -parallel).
+//
+// ROADMAP.md's Architecture section documents the invariants behind the
+// bit-identical guarantee and the recipe for adding a sixth algorithm.
 package lcasgd

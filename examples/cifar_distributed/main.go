@@ -4,21 +4,26 @@
 // curves against both epochs (Figure 3a/3d) and virtual wall-clock time
 // (Figure 4a/4d).
 //
-//	go run ./examples/cifar_distributed [-workers N]
+//	go run ./examples/cifar_distributed [-workers N] [-parallel]
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"lcasgd/internal/ps"
 	"lcasgd/internal/trainer"
 )
 
 func main() {
 	workers := flag.Int("workers", 4, "simulated cluster size")
+	parallel := flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical results)")
 	flag.Parse()
 
 	profile := trainer.QuickCIFAR()
+	if *parallel {
+		profile.Backend = ps.BackendConcurrent
+	}
 	fmt.Printf("Distributed training comparison: %s, M=%d, Async-BN\n\n", profile.Name, *workers)
 
 	cs := trainer.Fig3Panel(profile, *workers, 7)

@@ -4,10 +4,11 @@
 // training set instead of sharing it, and the run is compared against the
 // paper's shared-data setting.
 //
-//	go run ./examples/partitioned_data
+//	go run ./examples/partitioned_data [-parallel]
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"lcasgd/internal/core"
@@ -16,8 +17,14 @@ import (
 )
 
 func main() {
+	parallel := flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical results)")
+	flag.Parse()
+
 	profile := trainer.QuickCIFAR()
 	profile.Epochs = 8
+	if *parallel {
+		profile.Backend = ps.BackendConcurrent
+	}
 	const workers = 4
 
 	fmt.Printf("LC-ASGD, shared data vs disjoint shards (%d workers)\n\n", workers)

@@ -1,10 +1,11 @@
 // Quickstart: train a small residual network with LC-ASGD on a simulated
 // 8-worker cluster and compare it against plain ASGD.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-parallel]
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"lcasgd/internal/core"
@@ -13,10 +14,17 @@ import (
 )
 
 func main() {
+	parallel := flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical results)")
+	flag.Parse()
+
 	profile := trainer.QuickCIFAR()
 	profile.Epochs = 6 // keep the demo under a minute
+	if *parallel {
+		profile.Backend = ps.BackendConcurrent
+	}
 
 	fmt.Println("LC-ASGD quickstart: CIFAR-10-scale synthetic task, 8 simulated workers")
+	fmt.Printf("execution backend: %s\n", backendName(profile.Backend))
 	fmt.Println()
 
 	asgd := trainer.RunCell(profile, ps.ASGD, 8, core.BNAsync, 42)
@@ -36,4 +44,11 @@ func main() {
 		len(lc.LossTrace), len(lc.StepTrace))
 	fmt.Printf("measured predictor cost: loss %.2f ms/call, step %.2f ms/call\n",
 		lc.AvgLossPredMs, lc.AvgStepPredMs)
+}
+
+func backendName(k ps.BackendKind) string {
+	if k == "" {
+		return string(ps.BackendSequential)
+	}
+	return string(k)
 }

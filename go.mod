@@ -1,0 +1,3 @@
+module lcasgd
+
+go 1.24

@@ -1,95 +1,53 @@
 package ps
 
-import (
-	"lcasgd/internal/core"
-	"lcasgd/internal/rng"
-	"lcasgd/internal/simclock"
-)
+// asyncStrategy executes ASGD (Formula 2) and DC-ASGD (Formula 3). Each
+// worker loops independently: it snapshots the current weights, computes a
+// gradient, and the gradient lands on the server one communication+
+// computation delay later — by which time other workers may have advanced
+// the model, producing genuine gradient staleness. DC-ASGD additionally
+// compensates each arriving gradient with λ·g⊙g⊙(w_now − w_bak), the cheap
+// diagonal-Hessian approximation of Zheng et al.
+type asyncStrategy struct {
+	algo   Algo
+	dc     bool
+	lambda float64
+	wbak   [][]float64 // DC-ASGD backup of the pulled weights, per worker
+}
 
-// runAsync executes ASGD (Formula 2) and DC-ASGD (Formula 3) on the
-// discrete-event simulator. Each worker loops independently: it snapshots
-// the current weights, computes a gradient, and the gradient lands on the
-// server one communication+computation delay later — by which time other
-// workers may have advanced the model, producing genuine gradient
-// staleness. DC-ASGD additionally compensates each arriving gradient with
-// λ·g⊙g⊙(w_now − w_bak), the cheap diagonal-Hessian approximation of Zheng
-// et al.
-func runAsync(env Env) Result {
-	cfg := env.Cfg
-	M := cfg.Workers
-	dc := cfg.Algo == DCASGD
-	seedRng := rng.New(cfg.Seed)
-	modelSeed := seedRng.Uint64()
-	costRng := seedRng.SplitLabeled(200)
+func (s *asyncStrategy) Algo() Algo { return s.algo }
 
-	shards := workerData(env, M)
-	reps := make([]*replica, M)
-	for m := 0; m < M; m++ {
-		reps[m] = newReplica(env.Build, modelSeed, shards[m], cfg.BatchSize, seedRng.SplitLabeled(uint64(300+m)))
-	}
-	bnAcc := core.NewBNAccumulator(cfg.BNMode, cfg.BNDecay, reps[0].bns)
-	w := make([]float64, reps[0].nParams)
-	flatten(reps[0], w)
-	bpe := env.Train.Len() / cfg.BatchSize
-	srv := newServer(w, bnAcc, cfg, bpe)
-	rec := newRecorder(env, modelSeed)
-	sampler := cfg.Cost.NewSampler(M, costRng)
-	clock := simclock.New()
-
-	// Per-worker in-flight state.
-	grads := make([][]float64, M)
-	wbak := make([][]float64, M) // DC-ASGD backup of the pulled weights
-	for m := range grads {
-		grads[m] = make([]float64, len(w))
-		if dc {
-			wbak[m] = make([]float64, len(w))
+func (s *asyncStrategy) Setup(e *Engine) {
+	if s.dc {
+		s.lambda = e.Config().DCLambda
+		s.wbak = make([][]float64, e.Workers())
+		for m := range s.wbak {
+			s.wbak[m] = make([]float64, e.NParams())
 		}
 	}
-	snapUpdates := make([]int, M)
-	stalenessSum, stalenessN := 0, 0
+}
 
-	var start func(m int)
-	start = func(m int) {
-		if srv.done() {
+func (s *asyncStrategy) Launch(e *Engine, m int) {
+	e.Pull(m)
+	if s.dc {
+		copy(s.wbak[m], e.Weights())
+	}
+	wait := e.DispatchGradient(m)
+	dur := e.CommSample(m) + e.CompSample(m) + e.CommSample(m)
+	e.After(dur, func() {
+		if e.Done() {
 			return
 		}
-		rep := reps[m]
-		rep.pull(srv.w, srv.bnAcc)
-		if dc {
-			copy(wbak[m], srv.w)
+		wait()
+		grad := e.Gradient(m)
+		if s.dc {
+			compensateDC(grad, e.Weights(), s.wbak[m], s.lambda)
 		}
-		snapUpdates[m] = srv.updates
-		_, grad := rep.gradient()
-		copy(grads[m], grad)
-		stats := rep.stats()
-		dur := sampler.Comm(m) + sampler.Comp(m) + sampler.Comm(m)
-		clock.ScheduleAfter(dur, func() {
-			if srv.done() {
-				return
-			}
-			stalenessSum += srv.updates - snapUpdates[m]
-			stalenessN++
-			if dc {
-				compensateDC(grads[m], srv.w, wbak[m], cfg.DCLambda)
-			}
-			srv.bnAcc.Update(stats)
-			srv.apply(grads[m], 1)
-			rec.maybeRecord(srv, clock.Now(), false)
-			start(m)
-		})
-	}
-	for m := 0; m < M; m++ {
-		start(m)
-	}
-	clock.Run(func() bool { return srv.done() })
-
-	points := rec.finish(srv, clock.Now())
-	res := Result{Algo: cfg.Algo, BNMode: cfg.BNMode, Points: points, VirtualMs: clock.Now(), Updates: srv.updates}
-	if stalenessN > 0 {
-		res.MeanStaleness = float64(stalenessSum) / float64(stalenessN)
-	}
-	return finalize(res, cfg)
+		e.FoldStats(m)
+		e.Commit(m, grad, 1)
+	})
 }
+
+func (*asyncStrategy) Finish(*Engine, *Result) {}
 
 // compensateDC applies Formula 3 in place: g ← g + λ·g⊙g⊙(w_now − w_bak).
 func compensateDC(g, wNow, wBak []float64, lambda float64) {

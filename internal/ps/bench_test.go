@@ -1,0 +1,68 @@
+package ps
+
+import (
+	"testing"
+
+	"lcasgd/internal/cluster"
+	"lcasgd/internal/core"
+	"lcasgd/internal/data"
+	"lcasgd/internal/model"
+	"lcasgd/internal/nn"
+	"lcasgd/internal/rng"
+)
+
+// benchEnv is a heftier environment than the unit-test one so that per-batch
+// compute dominates dispatch overhead — the regime where the concurrent
+// backend's cross-worker overlap pays off.
+func benchEnv(algo Algo, workers int, kind BackendKind) Env {
+	d := data.Config{
+		Classes: 8, C: 1, H: 12, W: 12,
+		Train: 512, Test: 128,
+		NoiseSigma: 0.8, SignalScale: 0.5, Smoothing: 1, Seed: 99,
+	}
+	train, test := data.Generate(d)
+	return Env{
+		Train: train,
+		Test:  test,
+		Build: func(g *rng.RNG) *nn.Sequential { return model.MLP("bench", 144, 96, 8, g) },
+		Cfg: Config{
+			Algo: algo, Workers: workers, BatchSize: 32, Epochs: 2,
+			LR: 0.05, Lambda: 1, DCLambda: 0.3,
+			BNMode: core.BNAsync, Seed: 7, Cost: cluster.CIFARCostModel(),
+			LossPredHidden: 8, StepPredHidden: 8,
+			Backend: kind,
+		},
+	}
+}
+
+// BenchmarkSSGDRound compares the two execution backends on SSGD rounds: a
+// round's M gradient computations are independent, so the concurrent
+// backend overlaps them across cores while the barrier commit stays on the
+// event loop. Run with GOMAXPROCS ≥ 4 to see the speedup; record results in
+// BENCH_*.json so future PRs have a perf baseline.
+func BenchmarkSSGDRound(b *testing.B) {
+	for _, kind := range []BackendKind{BackendSequential, BackendConcurrent} {
+		b.Run(string(kind), func(b *testing.B) {
+			env := benchEnv(SSGD, 4, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Run(env)
+			}
+		})
+	}
+}
+
+// BenchmarkLCASGDFleet compares the backends on an LC-ASGD fleet, where
+// forward and backward passes of different workers overlap between the
+// server's event-loop interactions.
+func BenchmarkLCASGDFleet(b *testing.B) {
+	for _, kind := range []BackendKind{BackendSequential, BackendConcurrent} {
+		b.Run(string(kind), func(b *testing.B) {
+			env := benchEnv(LCASGD, 4, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Run(env)
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+package ps
+
+import (
+	"lcasgd/internal/cluster"
+	"lcasgd/internal/core"
+	"lcasgd/internal/rng"
+	"lcasgd/internal/simclock"
+)
+
+// Engine owns everything a training run shares across algorithms: the
+// worker replica fleet and its data shards, the parameter server, the BN
+// statistics accumulator, the cost sampler, the curve recorder, the
+// discrete-event clock, and the execution backend. A Strategy drives it
+// through the exported primitives below; the engine guarantees that all
+// shared state mutates only on the event loop, in virtual-clock order, so
+// every backend produces bit-identical results.
+type Engine struct {
+	cfg      Config
+	env      Env
+	strategy Strategy
+	backend  Backend
+
+	clock   *simclock.Clock
+	sampler *cluster.Sampler
+	reps    []*replica
+	srv     *server
+	rec     *recorder
+
+	seedRng   *rng.RNG
+	modelSeed uint64
+
+	loss         []float64 // last forward loss per worker, set by dispatched compute
+	snapUpdates  []int     // server update counter at each worker's last Pull
+	stalenessSum int
+	stalenessN   int
+}
+
+// newEngine builds the shared preamble the five run* monoliths used to
+// duplicate: seed streams, fleet, server, recorder, sampler, clock, backend.
+// The seed-stream derivation order is fixed here (model, cost, per-worker
+// data, then strategy labels in Setup) and must not change: it is what makes
+// runs reproducible and backends interchangeable.
+func newEngine(env Env, st Strategy) *Engine {
+	cfg := env.Cfg
+	seedRng := rng.New(cfg.Seed)
+	modelSeed := seedRng.Uint64()
+	costRng := seedRng.SplitLabeled(200)
+
+	M := cfg.Workers
+	if fs, ok := st.(FleetSizer); ok {
+		M = fs.FleetSize(cfg.Workers)
+	}
+	shards := workerData(env, M)
+	reps := make([]*replica, M)
+	for m := 0; m < M; m++ {
+		reps[m] = newReplica(env.Build, modelSeed, shards[m], cfg.BatchSize, seedRng.SplitLabeled(uint64(300+m)))
+	}
+	bnMode := cfg.BNMode
+	if bf, ok := st.(BNModeFixer); ok {
+		bnMode = bf.FixBNMode(bnMode)
+	}
+	bnAcc := core.NewBNAccumulator(bnMode, cfg.BNDecay, reps[0].bns)
+	w := make([]float64, reps[0].nParams)
+	flatten(reps[0], w)
+	bpe := env.Train.Len() / cfg.BatchSize
+
+	backend := newBackend(cfg.Backend, M)
+	e := &Engine{
+		cfg:         cfg,
+		env:         env,
+		strategy:    st,
+		backend:     backend,
+		clock:       simclock.New(),
+		sampler:     cfg.Cost.NewSampler(M, costRng),
+		reps:        reps,
+		srv:         newServer(w, bnAcc, cfg, bpe),
+		seedRng:     seedRng,
+		modelSeed:   modelSeed,
+		loss:        make([]float64, M),
+		snapUpdates: make([]int, M),
+	}
+	e.rec = newRecorder(env, modelSeed, backend)
+	return e
+}
+
+// run executes the strategy to budget exhaustion and assembles the result.
+func (e *Engine) run() Result {
+	defer e.backend.Close()
+	e.strategy.Setup(e)
+	for m := range e.reps {
+		e.launch(m)
+	}
+	e.clock.Run(func() bool { return e.srv.done() })
+	points := e.rec.finish(e.srv, e.clock.Now())
+	res := Result{
+		Algo:      e.strategy.Algo(),
+		BNMode:    e.cfg.BNMode,
+		Points:    points,
+		VirtualMs: e.clock.Now(),
+		Updates:   e.srv.updates,
+	}
+	if e.stalenessN > 0 {
+		res.MeanStaleness = float64(e.stalenessSum) / float64(e.stalenessN)
+	}
+	e.strategy.Finish(e, &res)
+	return finalize(res, e.cfg)
+}
+
+// launch arms worker m's next iteration while sample budget remains.
+func (e *Engine) launch(m int) {
+	if !e.srv.done() {
+		e.strategy.Launch(e, m)
+	}
+}
+
+// --- engine services for strategies ---
+//
+// Everything below must be called from the event loop (Setup, Launch, or a
+// scheduled event), never from dispatched compute.
+
+// Config returns the run configuration with defaults applied.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Workers is the size of the replica fleet.
+func (e *Engine) Workers() int { return len(e.reps) }
+
+// NParams is the flat parameter count of the model.
+func (e *Engine) NParams() int { return e.reps[0].nParams }
+
+// Done reports whether the sample budget is exhausted.
+func (e *Engine) Done() bool { return e.srv.done() }
+
+// Now returns the current virtual time in milliseconds.
+func (e *Engine) Now() float64 { return e.clock.Now() }
+
+// Weights exposes the server's live weight vector. Strategies may read it
+// (DC-ASGD's backup copy) but must mutate it only through Commit/Apply.
+func (e *Engine) Weights() []float64 { return e.srv.w }
+
+// Batches returns the number of mini-batches consumed so far.
+func (e *Engine) Batches() int { return e.srv.batches }
+
+// BatchesPerEpoch returns the global-epoch length in batches.
+func (e *Engine) BatchesPerEpoch() int { return e.srv.bpe }
+
+// Updates returns the number of server updates applied so far.
+func (e *Engine) Updates() int { return e.srv.updates }
+
+// SetLRScale installs a constant learning-rate multiplier (SSGD's linear
+// scaling). Call it from Setup.
+func (e *Engine) SetLRScale(s float64) { e.srv.lrScale = s }
+
+// Rng derives a labeled child stream from the run's seed stream. Draw it in
+// Setup — the derivation advances the parent stream, so call order is part
+// of the reproducibility contract.
+func (e *Engine) Rng(label uint64) *rng.RNG { return e.seedRng.SplitLabeled(label) }
+
+// CommSample draws a one-way communication time for worker m.
+func (e *Engine) CommSample(m int) float64 { return e.sampler.Comm(m) }
+
+// CompSample draws a computation time for worker m's next iteration.
+func (e *Engine) CompSample(m int) float64 { return e.sampler.Comp(m) }
+
+// After schedules f on the virtual clock, delay milliseconds from now.
+func (e *Engine) After(delay float64, f func()) { e.clock.ScheduleAfter(delay, f) }
+
+// Pull installs the server's current weights and global BN statistics into
+// worker m's replica (Algorithm 1 lines 1–2) and snapshots the update
+// counter for staleness accounting.
+func (e *Engine) Pull(m int) {
+	e.reps[m].pull(e.srv.w, e.srv.bnAcc)
+	e.snapUpdates[m] = e.srv.updates
+}
+
+// DispatchGradient runs worker m's full local step (forward + backward, no
+// compensation) on the backend. After wait returns, Gradient(m) and Loss(m)
+// hold the results.
+func (e *Engine) DispatchGradient(m int) (wait func()) {
+	rep := e.reps[m]
+	return e.backend.Dispatch(m, func() { e.loss[m], _ = rep.gradient() })
+}
+
+// DispatchForward runs worker m's forward pass on the backend. After wait
+// returns, Loss(m) holds the batch loss and the replica's BN layers hold
+// their batch statistics.
+func (e *Engine) DispatchForward(m int) (wait func()) {
+	rep := e.reps[m]
+	return e.backend.Dispatch(m, func() { e.loss[m] = rep.forward() })
+}
+
+// DispatchBackward runs worker m's backward pass seeded with scale
+// (Formula 5's compensation enters here). After wait returns, Gradient(m)
+// holds the flat gradient.
+func (e *Engine) DispatchBackward(m int, scale float64) (wait func()) {
+	rep := e.reps[m]
+	return e.backend.Dispatch(m, func() { rep.backward(scale) })
+}
+
+// Loss returns worker m's most recent forward loss. Valid only after the
+// corresponding dispatch's wait has returned.
+func (e *Engine) Loss(m int) float64 { return e.loss[m] }
+
+// Gradient returns worker m's flat gradient buffer. Valid only after the
+// corresponding dispatch's wait has returned; the buffer is reused by the
+// worker's next backward pass, which cannot start before the next Launch.
+func (e *Engine) Gradient(m int) []float64 { return e.reps[m].grad }
+
+// FoldStats folds worker m's batch-normalization statistics into the global
+// accumulator per the configured BN mode (Formulas 6–7).
+func (e *Engine) FoldStats(m int) { e.srv.bnAcc.Update(e.reps[m].stats()) }
+
+// Commit lands grad on the server at the current virtual time: staleness
+// accounting against the worker's last Pull, the server update (Formula 8's
+// shared shape), curve recording, and the worker's next Launch while budget
+// remains.
+func (e *Engine) Commit(m int, grad []float64, batches int) {
+	e.stalenessSum += e.srv.updates - e.snapUpdates[m]
+	e.stalenessN++
+	e.Apply(grad, batches)
+	e.launch(m)
+}
+
+// Apply performs the raw server update without per-worker bookkeeping — the
+// SSGD barrier path, where M gradients fold into one update. Most
+// strategies use Commit instead.
+func (e *Engine) Apply(grad []float64, batches int) {
+	e.srv.apply(grad, batches)
+	e.rec.maybeRecord(e.srv, e.clock.Now(), false)
+}
+
+// Relaunch arms worker m's next iteration if budget remains; strategies
+// whose commits are not per-worker (SSGD's barrier) use it to restart the
+// fleet.
+func (e *Engine) Relaunch(m int) { e.launch(m) }

@@ -1,0 +1,197 @@
+package ps
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBackendEquivalence is the engine's central guarantee: for every
+// algorithm and fleet size, the concurrent backend produces a bit-identical
+// Result (curve points, virtual clock, update counts, staleness, predictor
+// traces) to the sequential simulator, because all shared state still
+// mutates on the event loop in simulated-clock order.
+func TestBackendEquivalence(t *testing.T) {
+	for _, algo := range []Algo{SGD, SSGD, ASGD, DCASGD, LCASGD} {
+		for _, m := range []int{1, 4, 8} {
+			if algo == SGD && m != 1 {
+				continue // SGD pins its fleet to one replica
+			}
+			seq := tinyEnvSeeded(algo, m, 2)
+			seq.Cfg.Backend = BackendSequential
+			conc := tinyEnvSeeded(algo, m, 2)
+			conc.Cfg.Backend = BackendConcurrent
+			a, b := Run(seq), Run(conc)
+
+			if len(a.Points) != len(b.Points) {
+				t.Fatalf("%s M=%d: point counts differ: %d vs %d", algo, m, len(a.Points), len(b.Points))
+			}
+			for i := range a.Points {
+				if a.Points[i] != b.Points[i] {
+					t.Fatalf("%s M=%d: point %d differs: %+v vs %+v", algo, m, i, a.Points[i], b.Points[i])
+				}
+			}
+			if a.VirtualMs != b.VirtualMs {
+				t.Fatalf("%s M=%d: virtual clocks differ: %v vs %v", algo, m, a.VirtualMs, b.VirtualMs)
+			}
+			if a.Updates != b.Updates {
+				t.Fatalf("%s M=%d: update counts differ: %d vs %d", algo, m, a.Updates, b.Updates)
+			}
+			if a.MeanStaleness != b.MeanStaleness {
+				t.Fatalf("%s M=%d: staleness differs: %v vs %v", algo, m, a.MeanStaleness, b.MeanStaleness)
+			}
+			if a.FinalTrainErr != b.FinalTrainErr || a.FinalTestErr != b.FinalTestErr {
+				t.Fatalf("%s M=%d: final errors differ: (%v,%v) vs (%v,%v)",
+					algo, m, a.FinalTrainErr, a.FinalTestErr, b.FinalTrainErr, b.FinalTestErr)
+			}
+			if len(a.LossTrace) != len(b.LossTrace) || len(a.StepTrace) != len(b.StepTrace) {
+				t.Fatalf("%s M=%d: predictor trace lengths differ", algo, m)
+			}
+			for i := range a.LossTrace {
+				if a.LossTrace[i] != b.LossTrace[i] {
+					t.Fatalf("%s M=%d: loss trace point %d differs", algo, m, i)
+				}
+			}
+		}
+	}
+}
+
+// toyStrategy demonstrates the extension point: a sixth algorithm is just a
+// Strategy. It is "local SGD with immediate commit" — every worker applies
+// its own gradient after one compute delay, no communication modeled.
+type toyStrategy struct{}
+
+func (toyStrategy) Algo() Algo    { return "TOY" }
+func (toyStrategy) Setup(*Engine) {}
+func (toyStrategy) Launch(e *Engine, m int) {
+	e.Pull(m)
+	wait := e.DispatchGradient(m)
+	e.After(e.CompSample(m), func() {
+		if e.Done() {
+			return
+		}
+		wait()
+		e.FoldStats(m)
+		e.Commit(m, e.Gradient(m), 1)
+	})
+}
+func (toyStrategy) Finish(*Engine, *Result) {}
+
+// TestRegisterToyStrategy proves a new algorithm needs only the Strategy
+// interface: register, run through the generic engine, and train — on both
+// backends, with identical results, since equivalence is an engine property
+// strategies inherit for free.
+func TestRegisterToyStrategy(t *testing.T) {
+	RegisterStrategy("TOY", func(Config) Strategy { return toyStrategy{} })
+	env := tinyEnvSeeded("TOY", 4, 4)
+	res := Run(env)
+	if res.Algo != "TOY" {
+		t.Fatalf("result algo %q", res.Algo)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("toy strategy produced %d points", len(res.Points))
+	}
+	if res.FinalTrainErr >= res.Points[0].TrainErr {
+		t.Fatalf("toy strategy did not learn: %v -> %v", res.Points[0].TrainErr, res.FinalTrainErr)
+	}
+	conc := tinyEnvSeeded("TOY", 4, 4)
+	conc.Cfg.Backend = BackendConcurrent
+	res2 := Run(conc)
+	if len(res.Points) != len(res2.Points) {
+		t.Fatal("toy strategy not backend-equivalent")
+	}
+	for i := range res.Points {
+		if res.Points[i] != res2.Points[i] {
+			t.Fatalf("toy strategy point %d differs across backends", i)
+		}
+	}
+}
+
+func TestRunPanicsOnUnknownBackend(t *testing.T) {
+	e := tinyEnvSeeded(SGD, 1, 1)
+	e.Cfg.Backend = "bogus"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(e)
+}
+
+func TestSGDIgnoresWorkerCount(t *testing.T) {
+	// Sequential SGD pins its fleet to one replica, so Workers is inert.
+	a := Run(tinyEnvSeeded(SGD, 1, 2))
+	b := Run(tinyEnvSeeded(SGD, 8, 2))
+	if len(a.Points) != len(b.Points) {
+		t.Fatal("SGD result depends on Workers")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("SGD point %d depends on Workers", i)
+		}
+	}
+}
+
+// --- backend unit tests ---
+
+func TestConcurrentBackendLaneOrdering(t *testing.T) {
+	be := newConcBackend(2)
+	defer be.Close()
+	var mu sync.Mutex
+	var order []int
+	var waits []func()
+	for i := 0; i < 20; i++ {
+		i := i
+		waits = append(waits, be.Dispatch(0, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}))
+	}
+	for _, w := range waits {
+		w()
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("lane tasks ran out of dispatch order: %v", order)
+	}
+}
+
+func TestConcurrentBackendParallelForCoversAllIndices(t *testing.T) {
+	be := newConcBackend(1)
+	defer be.Close()
+	const n = 37
+	hits := make([]int, n)
+	be.ParallelFor(n, func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestSequentialBackendBasics(t *testing.T) {
+	var be Backend = seqBackend{}
+	ran := false
+	wait := be.Dispatch(0, func() { ran = true })
+	wait()
+	if !ran {
+		t.Fatal("sequential dispatch did not run inline")
+	}
+	sum := 0
+	be.ParallelFor(5, func(i int) { sum += i })
+	if sum != 10 {
+		t.Fatalf("ParallelFor sum %d", sum)
+	}
+	if be.Parallelism() != 1 || be.Kind() != BackendSequential {
+		t.Fatal("sequential backend misdescribes itself")
+	}
+}
+
+func TestBackendDefaultsToSequential(t *testing.T) {
+	if cfg := (Config{Epochs: 1}).withDefaults(); cfg.Backend != BackendSequential {
+		t.Fatalf("default backend %q", cfg.Backend)
+	}
+	if newBackend("", 4).Kind() != BackendSequential {
+		t.Fatal("empty kind must map to sequential")
+	}
+}

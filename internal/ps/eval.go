@@ -9,38 +9,88 @@ import (
 )
 
 // evaluator measures the global model's error rate on a dataset. It owns a
-// dedicated replica so evaluation never disturbs worker state, and runs in
-// inference mode so BN uses the server's global running statistics — which
-// is what makes the BN-vs-Async-BN difference measurable (Table 1).
+// pool of dedicated replicas so evaluation never disturbs worker state, and
+// runs in inference mode so BN uses the server's global running statistics
+// — which is what makes the BN-vs-Async-BN difference measurable (Table 1).
+//
+// Evaluation batches are sharded across the execution backend's
+// ParallelFor; each shard counts correct predictions on its own net, and
+// the integer counts sum identically whatever the parallelism, so both
+// backends report bit-identical error rates.
 type evaluator struct {
-	net       *nn.Sequential
-	bns       []*nn.BatchNorm
-	params    []*nn.Param
+	build     func(*rng.RNG) *nn.Sequential
+	modelSeed uint64
 	batchSize int
+	backend   Backend
+	nets      []*evalNet
 }
 
-func newEvaluator(build func(*rng.RNG) *nn.Sequential, modelSeed uint64, batchSize int) *evaluator {
-	net := build(rng.New(modelSeed))
-	return &evaluator{net: net, bns: net.BatchNorms(), params: net.Params(), batchSize: batchSize}
+// evalNet is one inference replica of the pool.
+type evalNet struct {
+	net    *nn.Sequential
+	bns    []*nn.BatchNorm
+	params []*nn.Param
+}
+
+func newEvaluator(build func(*rng.RNG) *nn.Sequential, modelSeed uint64, batchSize int, be Backend) *evaluator {
+	return &evaluator{build: build, modelSeed: modelSeed, batchSize: batchSize, backend: be}
+}
+
+// pool grows the inference-replica pool to n nets and returns them.
+func (e *evaluator) pool(n int) []*evalNet {
+	for len(e.nets) < n {
+		net := e.build(rng.New(e.modelSeed))
+		e.nets = append(e.nets, &evalNet{net: net, bns: net.BatchNorms(), params: net.Params()})
+	}
+	return e.nets[:n]
 }
 
 // errOn returns the classification error rate of (w, bn stats) on ds.
 func (e *evaluator) errOn(ds *data.Dataset, w []float64, bnAcc *core.BNAccumulator) float64 {
-	nn.UnflattenValues(e.params, w)
-	bnAcc.Apply(e.bns)
+	nBatches := (ds.Len() + e.batchSize - 1) / e.batchSize
+	shards := e.backend.Parallelism()
+	if shards > nBatches {
+		shards = nBatches
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	nets := e.pool(shards)
+	counts := make([]int, shards)
+	// Each shard refreshes its own net inside the parallel body: the weight
+	// copy and BN application only read shared state (SetRunning copies), so
+	// the O(shards × nParams) refresh overlaps instead of serializing on the
+	// event loop.
+	e.backend.ParallelFor(shards, func(i int) {
+		nn.UnflattenValues(nets[i].params, w)
+		bnAcc.Apply(nets[i].bns)
+		counts[i] = nets[i].countCorrect(ds, e.batchSize, i, shards)
+	})
 	correct := 0
-	idx := make([]int, 0, e.batchSize)
-	for start := 0; start < ds.Len(); start += e.batchSize {
-		end := start + e.batchSize
-		if end > ds.Len() {
-			end = ds.Len()
+	for _, c := range counts {
+		correct += c
+	}
+	return 1 - float64(correct)/float64(ds.Len())
+}
+
+// countCorrect evaluates batches start, start+stride, start+2·stride, … and
+// returns the number of correctly classified samples.
+func (n *evalNet) countCorrect(ds *data.Dataset, batchSize, start, stride int) int {
+	nBatches := (ds.Len() + batchSize - 1) / batchSize
+	correct := 0
+	idx := make([]int, 0, batchSize)
+	for b := start; b < nBatches; b += stride {
+		lo := b * batchSize
+		hi := lo + batchSize
+		if hi > ds.Len() {
+			hi = ds.Len()
 		}
 		idx = idx[:0]
-		for j := start; j < end; j++ {
+		for j := lo; j < hi; j++ {
 			idx = append(idx, j)
 		}
 		x, y := ds.Batch(idx)
-		out := e.net.Forward(x, false)
+		out := n.net.Forward(x, false)
 		pred := tensor.ArgmaxRows(out)
 		for i, p := range pred {
 			if p == y[i] {
@@ -48,7 +98,7 @@ func (e *evaluator) errOn(ds *data.Dataset, w []float64, bnAcc *core.BNAccumulat
 			}
 		}
 	}
-	return 1 - float64(correct)/float64(ds.Len())
+	return correct
 }
 
 // recorder collects curve points at epoch boundaries.
@@ -60,10 +110,10 @@ type recorder struct {
 	points    []Point
 }
 
-func newRecorder(env Env, modelSeed uint64) *recorder {
+func newRecorder(env Env, modelSeed uint64, be Backend) *recorder {
 	return &recorder{
 		env:       env,
-		eval:      newEvaluator(env.Build, modelSeed, env.Cfg.EvalBatch),
+		eval:      newEvaluator(env.Build, modelSeed, env.Cfg.EvalBatch, be),
 		evalEvery: env.Cfg.EvalEvery,
 		lastEpoch: -1,
 	}

@@ -1,12 +1,8 @@
 package ps
 
-import (
-	"lcasgd/internal/core"
-	"lcasgd/internal/rng"
-	"lcasgd/internal/simclock"
-)
+import "lcasgd/internal/core"
 
-// runLC executes the paper's LC-ASGD (Algorithms 1–4). Each worker
+// lcStrategy executes the paper's LC-ASGD (Algorithms 1–4). Each worker
 // iteration has two server interactions:
 //
 //  1. After the forward pass the worker pushes state_m = {loss, BN stats,
@@ -21,133 +17,97 @@ import (
 //
 // The server-side predictor work adds PredVirtualMs to each iteration's
 // virtual critical path, and the real measured predictor times are reported
-// for Tables 2–3.
-func runLC(env Env) Result {
-	cfg := env.Cfg
-	M := cfg.Workers
-	seedRng := rng.New(cfg.Seed)
-	modelSeed := seedRng.Uint64()
-	costRng := seedRng.SplitLabeled(200)
-	predRng := seedRng.SplitLabeled(400)
+// for Tables 2–3. On the concurrent backend the forward and backward passes
+// run on the worker's lane while the server-side predictor work stays on
+// the event loop, preserving the delivery order the predictors train on.
+type lcStrategy struct {
+	cfg      Config // taken from the engine in Setup — the single source
+	iterLog  *core.IterLog
+	lossPred *core.LossPredictor
+	stepPred *core.StepPredictor
+	emaLoss  *emaPredictor
+	lastComp []float64 // previous iteration's t_comp per worker
+}
 
-	shards := workerData(env, M)
-	reps := make([]*replica, M)
-	for m := 0; m < M; m++ {
-		reps[m] = newReplica(env.Build, modelSeed, shards[m], cfg.BatchSize, seedRng.SplitLabeled(uint64(300+m)))
+func (*lcStrategy) Algo() Algo { return LCASGD }
+
+func (s *lcStrategy) Setup(e *Engine) {
+	s.cfg = e.Config()
+	predRng := e.Rng(400)
+	s.iterLog = core.NewIterLog()
+	s.lossPred = core.NewLossPredictorSized(s.cfg.LossPredHidden, predRng.SplitLabeled(1))
+	s.stepPred = core.NewStepPredictorSized(e.Workers(), s.cfg.StepPredHidden, predRng.SplitLabeled(2))
+	if s.cfg.EMALossPredictor {
+		s.emaLoss = newEMAPredictor(0.3)
 	}
-	bnAcc := core.NewBNAccumulator(cfg.BNMode, cfg.BNDecay, reps[0].bns)
-	w := make([]float64, reps[0].nParams)
-	flatten(reps[0], w)
-	bpe := env.Train.Len() / cfg.BatchSize
-	srv := newServer(w, bnAcc, cfg, bpe)
-	rec := newRecorder(env, modelSeed)
-	sampler := cfg.Cost.NewSampler(M, costRng)
-	clock := simclock.New()
+	s.lastComp = make([]float64, e.Workers())
+}
 
-	iterLog := core.NewIterLog()
-	lossPred := core.NewLossPredictorSized(cfg.LossPredHidden, predRng.SplitLabeled(1))
-	stepPred := core.NewStepPredictorSized(M, cfg.StepPredHidden, predRng.SplitLabeled(2))
-	var emaLoss *emaPredictor
-	if cfg.EMALossPredictor {
-		emaLoss = newEMAPredictor(0.3)
-	}
-
-	grads := make([][]float64, M)
-	for m := range grads {
-		grads[m] = make([]float64, len(w))
-	}
-	snapUpdates := make([]int, M)
-	lastComp := make([]float64, M) // previous iteration's t_comp per worker
-	stalenessSum, stalenessN := 0, 0
-
-	var start func(m int)
-	start = func(m int) {
-		if srv.done() {
+func (s *lcStrategy) Launch(e *Engine, m int) {
+	// Algorithm 1 lines 1–3: pull weights, record t_comm.
+	e.Pull(m)
+	tcomm := e.CommSample(m)
+	// Lines 4–8: forward pass, record loss and BN statistics, push state.
+	fwdWait := e.DispatchForward(m)
+	tcomp := e.CompSample(m)
+	tfwd := tcomp / 3
+	tbwd := tcomp - tfwd
+	e.After(tcomm+tfwd, func() {
+		if e.Done() {
 			return
 		}
-		rep := reps[m]
-		// Algorithm 1 lines 1–3: pull weights, record t_comm.
-		rep.pull(srv.w, srv.bnAcc)
-		snapUpdates[m] = srv.updates
-		tcomm := sampler.Comm(m)
-		// Lines 4–8: forward pass, record loss and BN statistics, push state.
-		loss := rep.forward()
-		stats := rep.stats()
-		tcomp := sampler.Comp(m)
-		tfwd := tcomp / 3
-		tbwd := tcomp - tfwd
-		clock.ScheduleAfter(tcomm+tfwd, func() {
-			if srv.done() {
+		fwdWait()
+		loss := e.Loss(m)
+		// Algorithm 2 lines 1–7: server handles state_m.
+		observed := s.iterLog.Append(m)
+		var k int
+		if s.cfg.NaiveStepPredictor {
+			k = observed
+			if k < 0 {
+				k = e.Workers() - 1
+			}
+		} else {
+			k = s.stepPred.ObserveAndPredict(m, observed, tcomm, s.lastComp[m])
+		}
+		var ldelay float64
+		if s.emaLoss != nil {
+			s.emaLoss.Observe(loss)
+			ldelay = s.emaLoss.PredictDelay(k)
+		} else {
+			s.lossPred.Observe(loss)
+			ldelay = s.lossPred.PredictDelay(loss, k)
+		}
+		e.FoldStats(m)
+		// Algorithm 1 lines 9–12: compensated backward pass, push grads.
+		// Compensation is gated off during the first epoch: the online
+		// predictors have not seen enough of the loss series yet, and
+		// the paper itself notes prediction error "generally occurs at
+		// the beginning of the training process".
+		scale := 1.0
+		if e.Batches() >= e.BatchesPerEpoch() {
+			if s.cfg.SumCompensation {
+				scale = core.CompensationScaleSum(loss, ldelay, s.cfg.Lambda)
+			} else {
+				scale = core.CompensationScale(loss, ldelay, k, s.cfg.Lambda)
+			}
+		}
+		bwdWait := e.DispatchBackward(m, scale)
+		s.lastComp[m] = tbwd
+		e.After(s.cfg.PredVirtualMs+tcomm+tbwd+e.CommSample(m), func() {
+			if e.Done() {
 				return
 			}
-			// Algorithm 2 lines 1–7: server handles state_m.
-			observed := iterLog.Append(m)
-			var k int
-			if cfg.NaiveStepPredictor {
-				k = observed
-				if k < 0 {
-					k = M - 1
-				}
-			} else {
-				k = stepPred.ObserveAndPredict(m, observed, tcomm, lastComp[m])
-			}
-			var ldelay float64
-			if emaLoss != nil {
-				emaLoss.Observe(loss)
-				ldelay = emaLoss.PredictDelay(k)
-			} else {
-				lossPred.Observe(loss)
-				ldelay = lossPred.PredictDelay(loss, k)
-			}
-			srv.bnAcc.Update(stats)
-			// Algorithm 1 lines 9–12: compensated backward pass, push grads.
-			// Compensation is gated off during the first epoch: the online
-			// predictors have not seen enough of the loss series yet, and
-			// the paper itself notes prediction error "generally occurs at
-			// the beginning of the training process".
-			scale := 1.0
-			if srv.batches >= srv.bpe {
-				if cfg.SumCompensation {
-					scale = core.CompensationScaleSum(loss, ldelay, cfg.Lambda)
-				} else {
-					scale = core.CompensationScale(loss, ldelay, k, cfg.Lambda)
-				}
-			}
-			copy(grads[m], rep.backward(scale))
-			lastComp[m] = tbwd
-			clock.ScheduleAfter(cfg.PredVirtualMs+tcomm+tbwd+sampler.Comm(m), func() {
-				if srv.done() {
-					return
-				}
-				stalenessSum += srv.updates - snapUpdates[m]
-				stalenessN++
-				srv.apply(grads[m], 1) // Formula 8
-				rec.maybeRecord(srv, clock.Now(), false)
-				start(m)
-			})
+			bwdWait()
+			e.Commit(m, e.Gradient(m), 1) // Formula 8
 		})
-	}
-	for m := 0; m < M; m++ {
-		start(m)
-	}
-	clock.Run(func() bool { return srv.done() })
+	})
+}
 
-	points := rec.finish(srv, clock.Now())
-	res := Result{
-		Algo:          LCASGD,
-		BNMode:        cfg.BNMode,
-		Points:        points,
-		VirtualMs:     clock.Now(),
-		Updates:       srv.updates,
-		LossTrace:     lossPred.Trace(),
-		StepTrace:     stepPred.Trace(),
-		AvgLossPredMs: lossPred.AvgTrainMs(),
-		AvgStepPredMs: stepPred.AvgTrainMs(),
-	}
-	if stalenessN > 0 {
-		res.MeanStaleness = float64(stalenessSum) / float64(stalenessN)
-	}
-	return finalize(res, cfg)
+func (s *lcStrategy) Finish(e *Engine, res *Result) {
+	res.LossTrace = s.lossPred.Trace()
+	res.StepTrace = s.stepPred.Trace()
+	res.AvgLossPredMs = s.lossPred.AvgTrainMs()
+	res.AvgStepPredMs = s.stepPred.AvgTrainMs()
 }
 
 // emaPredictor is the ablation baseline for the loss predictor: an

@@ -4,6 +4,19 @@
 // al. 2017) and the paper's LC-ASGD (Algorithms 1–4) — as parameter-server
 // strategies executed on a deterministic discrete-event cluster simulation.
 //
+// The package is layered (see ROADMAP.md's Architecture section):
+//
+//   - Engine owns everything a run shares across algorithms: replica fleet,
+//     data sharding, cost sampler, BN accumulator, recorder, and the
+//     discrete-event loop.
+//   - Strategy is the algorithm: how worker iterations are scheduled and
+//     how their gradients become server updates. The five paper algorithms
+//     are compact Strategy implementations; RegisterStrategy adds more.
+//   - Backend executes worker-local compute: BackendSequential inline on
+//     the event loop, BackendConcurrent fanned across goroutine lanes with
+//     server commits still in simulated-clock order, so both backends
+//     produce bit-identical results.
+//
 // All algorithms perform the same total amount of sample processing
 // (Epochs × dataset passes), so the error-vs-epoch curves of Figures 3/5
 // compare optimization quality at equal data budgets, while the virtual
@@ -74,6 +87,12 @@ type Config struct {
 	// instead of the paper's shared-data setting — the extension the
 	// paper's conclusion lists as future work.
 	Partitioned bool
+
+	// Backend selects the execution backend: BackendSequential (the
+	// default) runs worker compute inline on the event loop,
+	// BackendConcurrent fans it across goroutines with bit-identical
+	// results.
+	Backend BackendKind
 }
 
 // withDefaults fills zero fields.
@@ -98,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PredVirtualMs == 0 {
 		c.PredVirtualMs = 2.7
+	}
+	if c.Backend == "" {
+		c.Backend = BackendSequential
 	}
 	return c
 }
@@ -135,7 +157,9 @@ type Result struct {
 	AvgIterVirtualMs             float64
 }
 
-// Run executes the configured algorithm and returns its result.
+// Run executes the configured algorithm and returns its result. The
+// algorithm is looked up in the strategy registry, so algorithms added via
+// RegisterStrategy run through the same engine as the paper's five.
 func Run(env Env) Result {
 	cfg := env.Cfg.withDefaults()
 	env.Cfg = cfg
@@ -145,18 +169,7 @@ func Run(env Env) Result {
 	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
 		panic(fmt.Sprintf("ps: bad batch/epochs in %+v", cfg))
 	}
-	switch cfg.Algo {
-	case SGD:
-		return runSequential(env)
-	case SSGD:
-		return runSSGD(env)
-	case ASGD, DCASGD:
-		return runAsync(env)
-	case LCASGD:
-		return runLC(env)
-	default:
-		panic(fmt.Sprintf("ps: unknown algorithm %q", cfg.Algo))
-	}
+	return newEngine(env, strategyFor(cfg)).run()
 }
 
 // workerData returns each worker's view of the training set: the shared

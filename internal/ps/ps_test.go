@@ -305,7 +305,7 @@ func TestEMAPredictor(t *testing.T) {
 
 func TestEvaluatorMatchesAccuracy(t *testing.T) {
 	e := tinyEnvSeeded(SGD, 1, 1)
-	ev := newEvaluator(e.Build, 5, 32)
+	ev := newEvaluator(e.Build, 5, 32, seqBackend{})
 	rep := newReplica(e.Build, 5, e.Train, 20, rng.New(1))
 	w := make([]float64, rep.nParams)
 	flatten(rep, w)

@@ -1,43 +1,42 @@
 package ps
 
-import (
-	"lcasgd/internal/core"
-	"lcasgd/internal/rng"
-)
+import "lcasgd/internal/core"
 
-// runSequential is the single-machine SGD baseline: one replica, no
+// sgdStrategy is the single-machine SGD baseline: one replica, no
 // communication, one update per mini-batch. Virtual time advances by the
 // sampled computation cost of each iteration.
-func runSequential(env Env) Result {
-	cfg := env.Cfg
-	seedRng := rng.New(cfg.Seed)
-	modelSeed := seedRng.Uint64()
-	dataRng := seedRng.SplitLabeled(100)
-	costRng := seedRng.SplitLabeled(200)
+type sgdStrategy struct{}
 
-	rep := newReplica(env.Build, modelSeed, env.Train, cfg.BatchSize, dataRng)
-	bnAcc := core.NewBNAccumulator(core.BNAsync, cfg.BNDecay, rep.bns)
-	w := make([]float64, rep.nParams)
-	flatten(rep, w)
-	bpe := env.Train.Len() / cfg.BatchSize
-	srv := newServer(w, bnAcc, cfg, bpe)
-	rec := newRecorder(env, modelSeed)
-	sampler := cfg.Cost.NewSampler(1, costRng)
+func (sgdStrategy) Algo() Algo { return SGD }
 
-	now := 0.0
-	for !srv.done() {
-		rep.pull(srv.w, srv.bnAcc)
-		_, grad := rep.gradient()
+// FleetSize pins the fleet to one replica regardless of Config.Workers:
+// sequential SGD is by definition single-machine.
+func (sgdStrategy) FleetSize(int) int { return 1 }
+
+// FixBNMode pins the accumulator to Async-BN: with one machine the EMA
+// accumulation degenerates to ordinary single-machine BN, whereas
+// BNReplace's last-batch overwrite would make the baseline's evaluation
+// needlessly noisy.
+func (sgdStrategy) FixBNMode(core.BNMode) core.BNMode { return core.BNAsync }
+
+func (sgdStrategy) Setup(*Engine) {}
+
+func (sgdStrategy) Launch(e *Engine, m int) {
+	e.Pull(m)
+	wait := e.DispatchGradient(m)
+	e.After(e.CompSample(m), func() {
+		if e.Done() {
+			return
+		}
+		wait()
 		// Sequential training keeps its own BN running statistics — the
 		// EMA accumulation degenerates to ordinary single-machine BN.
-		srv.bnAcc.Update(rep.stats())
-		srv.apply(grad, 1)
-		now += sampler.Comp(0)
-		rec.maybeRecord(srv, now, false)
-	}
-	points := rec.finish(srv, now)
-	return finalize(Result{Algo: SGD, BNMode: cfg.BNMode, Points: points, VirtualMs: now, Updates: srv.updates}, cfg)
+		e.FoldStats(m)
+		e.Commit(m, e.Gradient(m), 1)
+	})
 }
+
+func (sgdStrategy) Finish(*Engine, *Result) {}
 
 // flatten copies a replica's current parameter values into dst.
 func flatten(r *replica, dst []float64) {

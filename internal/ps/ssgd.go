@@ -1,73 +1,74 @@
 package ps
 
-import (
-	"lcasgd/internal/core"
-	"lcasgd/internal/rng"
-)
-
-// runSSGD is synchronous distributed SGD (Formula 1): every round all M
-// workers compute gradients on the same weight snapshot, the server
+// ssgdStrategy is synchronous distributed SGD (Formula 1): every round all
+// M workers compute gradients on the same weight snapshot, the server
 // averages them and applies one update. The synchronization barrier means
 // each round lasts as long as the slowest worker — the convergence-speed
 // penalty visible in Figures 4 and 6 — and each round consumes M batches,
 // so larger M means fewer updates per epoch (the effective-batch-size
 // growth the paper blames for SSGD's accuracy loss).
-func runSSGD(env Env) Result {
-	cfg := env.Cfg
-	M := cfg.Workers
-	seedRng := rng.New(cfg.Seed)
-	modelSeed := seedRng.Uint64()
-	costRng := seedRng.SplitLabeled(200)
+//
+// On the engine, a round is M Launch calls at the same virtual instant (so
+// every replica snapshots identical weights) and M arrival events; the
+// barrier exit is simply the last arrival, which on the event queue is the
+// max over workers of the round-trip-plus-compute time.
+type ssgdStrategy struct {
+	arrived int
+	waits   []func()
+	avg     []float64
+}
 
-	shards := workerData(env, M)
-	reps := make([]*replica, M)
-	for m := 0; m < M; m++ {
-		reps[m] = newReplica(env.Build, modelSeed, shards[m], cfg.BatchSize, seedRng.SplitLabeled(uint64(300+m)))
-	}
-	bnAcc := core.NewBNAccumulator(cfg.BNMode, cfg.BNDecay, reps[0].bns)
-	w := make([]float64, reps[0].nParams)
-	flatten(reps[0], w)
-	bpe := env.Train.Len() / cfg.BatchSize
-	srv := newServer(w, bnAcc, cfg, bpe)
+func (*ssgdStrategy) Algo() Algo { return SSGD }
+
+func (s *ssgdStrategy) Setup(e *Engine) {
 	// Linear learning-rate scaling (Goyal et al. 2017): one SSGD round
 	// consumes M batches but applies a single averaged update, so under the
 	// reproduction's scaled-down epoch budget SSGD would receive M× fewer
 	// update steps than the paper's full-scale budget affords it. Scaling γ
 	// by M makes each round equivalent to summing the M worker gradients,
 	// preserving SSGD's paper-reported mild (not catastrophic) degradation.
-	srv.lrScale = float64(M)
-	rec := newRecorder(env, modelSeed)
-	sampler := cfg.Cost.NewSampler(M, costRng)
-
-	now := 0.0
-	avg := make([]float64, len(w))
-	for !srv.done() {
-		for i := range avg {
-			avg[i] = 0
-		}
-		roundTime := 0.0
-		for m := 0; m < M; m++ {
-			reps[m].pull(srv.w, srv.bnAcc)
-			_, grad := reps[m].gradient()
-			for i, g := range grad {
-				avg[i] += g
-			}
-			// Round trip plus compute; the barrier takes the max.
-			if t := sampler.Comm(m) + sampler.Comp(m) + sampler.Comm(m); t > roundTime {
-				roundTime = t
-			}
-			// BN statistics arrive in rank order; under BNReplace the last
-			// worker wins, under BNAsync all are accumulated.
-			srv.bnAcc.Update(reps[m].stats())
-		}
-		inv := 1 / float64(M)
-		for i := range avg {
-			avg[i] *= inv
-		}
-		now += roundTime
-		srv.apply(avg, M)
-		rec.maybeRecord(srv, now, false)
-	}
-	points := rec.finish(srv, now)
-	return finalize(Result{Algo: SSGD, BNMode: cfg.BNMode, Points: points, VirtualMs: now, Updates: srv.updates}, cfg)
+	e.SetLRScale(float64(e.Workers()))
+	s.waits = make([]func(), e.Workers())
+	s.avg = make([]float64, e.NParams())
 }
+
+func (s *ssgdStrategy) Launch(e *Engine, m int) {
+	e.Pull(m)
+	s.waits[m] = e.DispatchGradient(m)
+	// Round trip plus compute; the barrier takes the max.
+	dur := e.CommSample(m) + e.CompSample(m) + e.CommSample(m)
+	e.After(dur, func() { s.arrive(e) })
+}
+
+// arrive counts a worker into the barrier; the M-th arrival averages the
+// round's gradients, folds BN statistics in rank order (so under BNReplace
+// the last rank wins, as in the monolithic runner), applies the single
+// update and restarts the fleet.
+func (s *ssgdStrategy) arrive(e *Engine) {
+	s.arrived++
+	M := e.Workers()
+	if s.arrived < M {
+		return
+	}
+	s.arrived = 0
+	for i := range s.avg {
+		s.avg[i] = 0
+	}
+	for m := 0; m < M; m++ {
+		s.waits[m]()
+		for i, g := range e.Gradient(m) {
+			s.avg[i] += g
+		}
+		e.FoldStats(m)
+	}
+	inv := 1 / float64(M)
+	for i := range s.avg {
+		s.avg[i] *= inv
+	}
+	e.Apply(s.avg, M)
+	for m := 0; m < M; m++ {
+		e.Relaunch(m)
+	}
+}
+
+func (*ssgdStrategy) Finish(*Engine, *Result) {}

@@ -1,0 +1,83 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"lcasgd/internal/core"
+)
+
+// Strategy is the algorithm-specific layer of a training run: how worker
+// iterations are scheduled on the virtual clock and how their results
+// become server updates. Everything else — fleet construction, data
+// sharding, cost sampling, BN accumulation, recording, clock bookkeeping,
+// backend execution — lives in the Engine, so a new algorithm is just a
+// Strategy (see ROADMAP.md's Architecture section for the recipe).
+type Strategy interface {
+	// Algo names the algorithm; it becomes Result.Algo.
+	Algo() Algo
+	// Setup runs once, after the engine has built the fleet and server but
+	// before any iteration. Allocate per-worker state and derive labeled
+	// RNG streams here.
+	Setup(e *Engine)
+	// Launch begins one iteration pipeline for worker m at the current
+	// virtual time. Implementations pull a snapshot, dispatch compute to
+	// the backend, and schedule the events that eventually call e.Commit
+	// (which re-arms the worker) or e.Apply + e.Relaunch.
+	Launch(e *Engine, m int)
+	// Finish lets the strategy add algorithm-specific fields to the result.
+	Finish(e *Engine, res *Result)
+}
+
+// FleetSizer is an optional Strategy refinement constraining the worker
+// fleet the engine builds (sequential SGD always runs one replica, whatever
+// Config.Workers says).
+type FleetSizer interface {
+	FleetSize(configured int) int
+}
+
+// BNModeFixer is an optional Strategy refinement overriding the BN mode the
+// engine accumulates statistics with. Sequential SGD uses it to keep
+// ordinary single-machine EMA statistics (BNAsync) whatever Config.BNMode
+// says — the BN-vs-Async-BN comparison of Table 1 is a distributed-only
+// question. Result.BNMode still reports the configured mode.
+type BNModeFixer interface {
+	FixBNMode(configured core.BNMode) core.BNMode
+}
+
+var (
+	strategyMu sync.RWMutex
+	strategies = map[Algo]func(Config) Strategy{}
+)
+
+// RegisterStrategy installs a strategy factory for algo, making it runnable
+// through Run. Registering an already-known algorithm replaces its factory;
+// the five paper algorithms are registered at init.
+func RegisterStrategy(algo Algo, factory func(Config) Strategy) {
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	strategies[algo] = factory
+}
+
+// strategyFor instantiates the registered strategy for cfg.Algo.
+func strategyFor(cfg Config) Strategy {
+	strategyMu.RLock()
+	factory := strategies[cfg.Algo]
+	strategyMu.RUnlock()
+	if factory == nil {
+		panic(fmt.Sprintf("ps: unknown algorithm %q", cfg.Algo))
+	}
+	return factory(cfg)
+}
+
+func init() {
+	RegisterStrategy(SGD, func(Config) Strategy { return sgdStrategy{} })
+	RegisterStrategy(SSGD, func(Config) Strategy { return &ssgdStrategy{} })
+	RegisterStrategy(ASGD, func(Config) Strategy {
+		return &asyncStrategy{algo: ASGD}
+	})
+	RegisterStrategy(DCASGD, func(Config) Strategy {
+		return &asyncStrategy{algo: DCASGD, dc: true}
+	})
+	RegisterStrategy(LCASGD, func(Config) Strategy { return &lcStrategy{} })
+}

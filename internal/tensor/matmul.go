@@ -4,21 +4,26 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxProcs caps the matmul worker count. It is a variable so tests can
-// exercise the sequential and parallel paths deterministically.
-var maxProcs = runtime.GOMAXPROCS(0)
+// exercise the sequential and parallel paths deterministically, and atomic
+// so runtime callers (the ps concurrent backend) can retune it while other
+// goroutines are inside MatMul without a data race.
+var maxProcs atomic.Int64
+
+func init() { maxProcs.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetMatmulParallelism overrides the number of goroutines used by MatMul.
-// n <= 1 forces the sequential path. It returns the previous value.
+// n <= 1 forces the sequential path. It returns the previous value. The cap
+// does not change results: row-block partitioning keeps the accumulation
+// order identical at any parallelism.
 func SetMatmulParallelism(n int) int {
-	old := maxProcs
 	if n < 1 {
 		n = 1
 	}
-	maxProcs = n
-	return old
+	return int(maxProcs.Swap(int64(n)))
 }
 
 // parallelRowThreshold is the minimum amount of scalar work before MatMul
@@ -62,7 +67,7 @@ func matMulInto(out, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	work := m * k * n
-	procs := maxProcs
+	procs := int(maxProcs.Load())
 	if work < parallelRowThreshold || procs <= 1 || m == 1 {
 		matMulRows(out, a, b, 0, m)
 		return

@@ -31,6 +31,12 @@ type Profile struct {
 	// Predictor widths (paper: 64/128). Quick profiles shrink them to keep
 	// the online LSTM training affordable on one CPU.
 	LossPredHidden, StepPredHidden int
+
+	// Backend selects the execution backend for every cell run under this
+	// profile; empty means the deterministic sequential simulator. The
+	// concurrent backend produces bit-identical results while overlapping
+	// worker compute across cores (cmd/lcexp -parallel).
+	Backend ps.BackendKind
 }
 
 // QuickCIFAR is the CPU-budget CIFAR-10-like cell used by tests and benches.
@@ -93,11 +99,9 @@ func FullImageNet() Profile {
 	return p
 }
 
-// RunCell executes one experiment cell under the profile. Dataset
-// generation is deterministic, so repeated cells see identical data.
-func RunCell(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64) ps.Result {
-	train, test := data.Generate(p.Data)
-	cfg := ps.Config{
+// cellConfig assembles the ps.Config for one experiment cell.
+func cellConfig(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64) ps.Config {
+	return ps.Config{
 		Algo:           algo,
 		Workers:        workers,
 		BatchSize:      p.Batch,
@@ -112,31 +116,21 @@ func RunCell(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint
 		Cost:           p.Cost,
 		LossPredHidden: p.LossPredHidden,
 		StepPredHidden: p.StepPredHidden,
+		Backend:        p.Backend,
 	}
-	env := ps.Env{Train: train, Test: test, Build: p.Model.Build, Cfg: cfg}
-	return ps.Run(env)
+}
+
+// RunCell executes one experiment cell under the profile. Dataset
+// generation is deterministic, so repeated cells see identical data.
+func RunCell(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64) ps.Result {
+	return RunCellCfg(p, algo, workers, bnMode, seed, nil)
 }
 
 // RunCellCfg is RunCell with full control of the ps.Config for ablations:
 // mutate receives the assembled config before the run.
 func RunCellCfg(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64, mutate func(*ps.Config)) ps.Result {
 	train, test := data.Generate(p.Data)
-	cfg := ps.Config{
-		Algo:           algo,
-		Workers:        workers,
-		BatchSize:      p.Batch,
-		Epochs:         p.Epochs,
-		LR:             p.LR,
-		Lambda:         p.Lambda,
-		DCLambda:       p.DCLam,
-		WeightDecay:    p.WD,
-		BNMode:         bnMode,
-		BNDecay:        p.BNDecay,
-		Seed:           seed,
-		Cost:           p.Cost,
-		LossPredHidden: p.LossPredHidden,
-		StepPredHidden: p.StepPredHidden,
-	}
+	cfg := cellConfig(p, algo, workers, bnMode, seed)
 	if mutate != nil {
 		mutate(&cfg)
 	}
