@@ -12,12 +12,18 @@
 //	lcexp -exp tab1              final-error grid, BN vs Async-BN
 //	lcexp -exp tab2              predictor overhead, CIFAR-scale
 //	lcexp -exp tab3              predictor overhead, ImageNet-scale
+//	lcexp -exp robust            algorithms × cluster scenarios (beyond the paper)
 //	lcexp -exp all               everything above in sequence
+//
+// The -exp list is validated up front: an unknown id aborts the run before
+// any experiment starts, instead of failing halfway through.
 //
 // -full switches from the quick CPU-budget profiles to the paper-scale
 // ones; -seeds averages headline tables over several seeds; -csv emits the
 // series as CSV instead of charts; -parallel fans worker compute across
-// goroutines (bit-identical results, faster wall-clock on multi-core).
+// goroutines (bit-identical results, faster wall-clock on multi-core);
+// -scenario replays a canned cluster-event timeline (congestion windows,
+// crashes/recoveries, elastic resizes) under every experiment.
 package main
 
 import (
@@ -27,20 +33,37 @@ import (
 	"strings"
 
 	"lcasgd/internal/ps"
+	"lcasgd/internal/scenario"
 	"lcasgd/internal/trainer"
 )
 
+// allExperiments is the canonical id order, also the expansion of -exp all.
+var allExperiments = []string{
+	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"tab1", "tab2", "tab3", "robust",
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig2..fig8, tab1..tab3, all")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids: fig2..fig8, tab1..tab3, robust, all")
 		workers  = flag.Int("workers", 0, "restrict figure panels to one worker count (0 = all of 4,8,16)")
 		full     = flag.Bool("full", false, "use the paper-scale profiles (slow) instead of quick ones")
 		seeds    = flag.Int("seeds", 1, "number of seeds to average in tab1")
 		seed     = flag.Uint64("seed", 7, "base random seed")
 		csv      = flag.Bool("csv", false, "emit figure series as CSV tables instead of ASCII charts")
 		parallel = flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical, multi-core)")
+		scn      = flag.String("scenario", "none",
+			fmt.Sprintf("cluster-event timeline for every run: %s", strings.Join(scenario.Names(), ", ")))
 	)
 	flag.Parse()
+
+	ids := expandExperiments(*exp)
+
+	sc, err := scenario.Lookup(*scn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
+		os.Exit(2)
+	}
 
 	cifar, imagenet := trainer.QuickCIFAR(), trainer.QuickImageNet()
 	if *full {
@@ -49,6 +72,10 @@ func main() {
 	if *parallel {
 		cifar.Backend = ps.BackendConcurrent
 		imagenet.Backend = ps.BackendConcurrent
+	}
+	if sc.Name != "none" {
+		cifar.Scenario = &sc
+		imagenet.Scenario = &sc
 	}
 	ms := trainer.WorkerCounts
 	if *workers != 0 {
@@ -105,21 +132,58 @@ func main() {
 		case "tab3":
 			fmt.Println("== Table 3: predictor overhead per iteration (ImageNet-scale) ==")
 			fmt.Println(trainer.RenderOverhead(imagenet, trainer.OverheadTable(imagenet, *seed)))
-		default:
-			fmt.Fprintf(os.Stderr, "lcexp: unknown experiment %q\n", id)
-			os.Exit(2)
+		case "robust":
+			m := 8
+			if *workers != 0 {
+				m = *workers
+			}
+			fmt.Printf("== Robustness: algorithms × cluster scenarios (%s, M=%d) ==\n", cifar.Name, m)
+			rows := trainer.Robustness(cifar, m, *seed, scenario.Canned())
+			tb := trainer.RenderRobustness(cifar, m, rows)
+			if *csv {
+				fmt.Println(tb.CSV())
+			} else {
+				fmt.Println(tb)
+			}
 		}
 	}
 
-	if *exp == "all" {
-		for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1", "tab2", "tab3"} {
-			run(id)
+	for _, id := range ids {
+		run(id)
+	}
+}
+
+// expandExperiments parses and validates the -exp list before anything
+// runs: an unknown id must fail fast, not after half the experiments have
+// already burned CPU. "all" expands to the canonical order.
+func expandExperiments(exp string) []string {
+	known := map[string]bool{}
+	for _, id := range allExperiments {
+		known[id] = true
+	}
+	var ids []string
+	var unknown []string
+	for _, id := range strings.Split(exp, ",") {
+		id = strings.TrimSpace(id)
+		switch {
+		case id == "all":
+			ids = append(ids, allExperiments...)
+		case known[id]:
+			ids = append(ids, id)
+		default:
+			unknown = append(unknown, fmt.Sprintf("%q", id))
 		}
-		return
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(id))
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "lcexp: unknown experiment %s (valid: %s, all)\n",
+			strings.Join(unknown, ", "), strings.Join(allExperiments, ", "))
+		os.Exit(2)
 	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "lcexp: empty experiment list")
+		os.Exit(2)
+	}
+	return ids
 }
 
 func emitCurves(cs trainer.CurveSet, csv, byEpoch bool) {

@@ -17,7 +17,8 @@
 //     recorder, and the discrete-event clock.
 //   - Strategy is the algorithm: how worker iterations are scheduled on the
 //     virtual clock and how their gradients become server updates. The five
-//     paper algorithms (SGD, SSGD, ASGD, DC-ASGD, LC-ASGD) are compact
+//     paper algorithms (SGD, SSGD, ASGD, DC-ASGD, LC-ASGD) and the
+//     staleness-aware sixth (SA-ASGD, Zhang et al. 2016) are compact
 //     Strategy implementations; ps.RegisterStrategy installs new ones,
 //     which then run through ps.Run like the built-ins.
 //   - Backend executes worker-local compute. ps.BackendSequential runs it
@@ -28,6 +29,13 @@
 //     are bit-identical to the sequential backend while wall-clock time
 //     drops on multi-core (cmd/lcexp -parallel).
 //
+// On top of the stationary cluster model, internal/scenario defines
+// deterministic timelines of cluster events — congestion phase shifts,
+// worker crashes and recoveries, elastic fleet resizes — which the engine
+// replays on the simulated clock (cmd/lcexp -scenario); the robustness
+// experiment (-exp robust) compares every distributed algorithm across
+// every canned scenario.
+//
 // ROADMAP.md's Architecture section documents the invariants behind the
-// bit-identical guarantee and the recipe for adding a sixth algorithm.
+// bit-identical guarantee and the recipe for adding more algorithms.
 package lcasgd

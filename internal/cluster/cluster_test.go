@@ -101,6 +101,94 @@ func TestSamplerStragglers(t *testing.T) {
 	}
 }
 
+func TestSamplerPhaseScalesDrawsExactly(t *testing.T) {
+	// Phases multiply the drawn value without consuming randomness, so a
+	// phased sampler tracks an unphased twin draw for draw.
+	mk := func() *Sampler {
+		m := CostModel{MeanComp: 30, MeanComm: 3, Sigma: 0.2}
+		return m.NewSampler(2, rng.New(5))
+	}
+	a, b := mk(), mk()
+	a.SetPhase(2.5, 3)
+	for i := 0; i < 50; i++ {
+		if got, want := a.Comp(i%2), 2.5*b.Comp(i%2); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("phased comp draw %d: %v, want %v", i, got, want)
+		}
+		if got, want := a.Comm(i%2), 3*b.Comm(i%2); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("phased comm draw %d: %v, want %v", i, got, want)
+		}
+	}
+	// Clearing the phase realigns the samplers bit-exactly: the streams
+	// never diverged.
+	a.SetPhase(1, 1)
+	for i := 0; i < 50; i++ {
+		if a.Comp(i%2) != b.Comp(i%2) || a.Comm(i%2) != b.Comm(i%2) {
+			t.Fatalf("streams diverged after phase cleared (draw %d)", i)
+		}
+	}
+}
+
+func TestSamplerWorkerPhaseTargetsOneWorker(t *testing.T) {
+	m := CostModel{MeanComp: 30, MeanComm: 3, Sigma: 0.2}
+	mk := func() *Sampler { return m.NewSampler(2, rng.New(5)) }
+	a, b := mk(), mk()
+	a.SetWorkerPhase(1, 4, 1)
+	for i := 0; i < 40; i++ {
+		if a.Comp(0) != b.Comp(0) {
+			t.Fatal("worker phase leaked onto worker 0")
+		}
+		if got, want := a.Comp(1), 4*b.Comp(1); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("worker 1 comp %v, want %v", got, want)
+		}
+	}
+	comp, comm := a.Phase(1)
+	if comp != 4 || comm != 1 {
+		t.Fatalf("effective phase (%v, %v)", comp, comm)
+	}
+	a.SetPhase(3, 2)
+	if comp, comm = a.Phase(1); comp != 12 || comm != 2 {
+		t.Fatalf("phases must compose: (%v, %v)", comp, comm)
+	}
+}
+
+func TestSamplerStragglerStatsUnchangedByPhase(t *testing.T) {
+	// Straggler injection draws its coin after the lognormal, before phase
+	// scaling, so a congestion phase shifts the whole distribution without
+	// altering the straggler fraction.
+	m := CostModel{MeanComp: 10, MeanComm: 1, Sigma: 0.01, StragglerProb: 0.5, StragglerFactor: 10}
+	s := m.NewSampler(1, rng.New(9))
+	s.SetPhase(5, 1)
+	slow := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if s.Comp(0) > 5*50 { // straggler threshold, phase-scaled
+			slow++
+		}
+	}
+	frac := float64(slow) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("straggler fraction %v under phase, want ~0.5", frac)
+	}
+}
+
+func TestSamplerPhasePanicsOnBadScales(t *testing.T) {
+	s := CIFARCostModel().NewSampler(1, rng.New(1))
+	for _, f := range []func(){
+		func() { s.SetPhase(0, 1) },
+		func() { s.SetPhase(1, -2) },
+		func() { s.SetWorkerPhase(0, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for non-positive phase scale")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestSamplerZeroCommShortCircuits(t *testing.T) {
 	m := CostModel{MeanComp: 10, MeanComm: 0, Sigma: 0.2}
 	s := m.NewSampler(1, rng.New(1))

@@ -7,7 +7,9 @@
 // "usually high and volatile"; here those delays are lognormal random
 // variables with per-worker heterogeneity and optional straggler injection,
 // sampled deterministically from a seeded stream so experiments reproduce
-// bit-identically.
+// bit-identically. Scenario timelines (internal/scenario) modulate the
+// sampler mid-run through phase multipliers that scale the drawn values
+// without touching the random stream.
 package cluster
 
 import (
@@ -72,7 +74,11 @@ func (c CostModel) Validate() error {
 
 // Sampler draws per-worker iteration costs. Each worker has a fixed speed
 // multiplier (hardware heterogeneity) plus per-iteration lognormal jitter
-// and occasional straggler slowdowns.
+// and occasional straggler slowdowns. On top of the stationary model, phase
+// multipliers (SetPhase, SetWorkerPhase) scale the sampled times while a
+// scenario's congestion window is open; phases multiply the drawn value and
+// never consult the RNG, so toggling them mid-run leaves the random stream —
+// and therefore every other sampled cost — untouched.
 type Sampler struct {
 	model CostModel
 	mult  []float64
@@ -80,6 +86,10 @@ type Sampler struct {
 	// logMu values chosen so the lognormal mean equals the configured mean:
 	// E[lognormal(mu, s)] = exp(mu + s²/2).
 	muComp, muComm float64
+	// Phase state: fleet-wide multipliers plus per-worker overrides, all 1
+	// in the stationary model.
+	phaseComp, phaseComm   float64
+	wPhaseComp, wPhaseComm []float64
 }
 
 // NewSampler builds a sampler for the given worker count.
@@ -90,15 +100,44 @@ func (c CostModel) NewSampler(workers int, g *rng.RNG) *Sampler {
 	if workers <= 0 {
 		panic("cluster: need at least one worker")
 	}
-	s := &Sampler{model: c, g: g}
+	s := &Sampler{
+		model: c, g: g,
+		phaseComp: 1, phaseComm: 1,
+		wPhaseComp: make([]float64, workers),
+		wPhaseComm: make([]float64, workers),
+	}
 	half := c.Heterogeneity / 2
 	for m := 0; m < workers; m++ {
 		s.mult = append(s.mult, 1-half+c.Heterogeneity*g.Float64())
+		s.wPhaseComp[m], s.wPhaseComm[m] = 1, 1
 	}
 	adj := c.Sigma * c.Sigma / 2
 	s.muComp = logOf(c.MeanComp) - adj
 	s.muComm = logOf(c.MeanComm) - adj
 	return s
+}
+
+// SetPhase installs fleet-wide phase multipliers on computation and
+// communication times. Both must be positive; 1 restores the nominal model.
+func (s *Sampler) SetPhase(comp, comm float64) {
+	if comp <= 0 || comm <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive phase scales %v/%v", comp, comm))
+	}
+	s.phaseComp, s.phaseComm = comp, comm
+}
+
+// SetWorkerPhase installs phase multipliers for a single worker, composing
+// with any fleet-wide phase.
+func (s *Sampler) SetWorkerPhase(m int, comp, comm float64) {
+	if comp <= 0 || comm <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive phase scales %v/%v", comp, comm))
+	}
+	s.wPhaseComp[m], s.wPhaseComm[m] = comp, comm
+}
+
+// Phase returns the effective phase multipliers for worker m.
+func (s *Sampler) Phase(m int) (comp, comm float64) {
+	return s.phaseComp * s.wPhaseComp[m], s.phaseComm * s.wPhaseComm[m]
 }
 
 // Comp samples the computation time for worker m's next iteration.
@@ -107,7 +146,7 @@ func (s *Sampler) Comp(m int) float64 {
 	if s.model.StragglerProb > 0 && s.g.Float64() < s.model.StragglerProb {
 		t *= s.model.StragglerFactor
 	}
-	return t
+	return s.phaseComp * s.wPhaseComp[m] * t
 }
 
 // Comm samples a one-way communication time for worker m.
@@ -115,7 +154,7 @@ func (s *Sampler) Comm(m int) float64 {
 	if s.model.MeanComm == 0 {
 		return 0
 	}
-	return s.mult[m] * s.g.LogNormal(s.muComm, s.model.Sigma)
+	return s.phaseComm * s.wPhaseComm[m] * s.mult[m] * s.g.LogNormal(s.muComm, s.model.Sigma)
 }
 
 // Multiplier exposes worker m's fixed speed multiplier (used by tests and

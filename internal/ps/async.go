@@ -33,7 +33,7 @@ func (s *asyncStrategy) Launch(e *Engine, m int) {
 	}
 	wait := e.DispatchGradient(m)
 	dur := e.CommSample(m) + e.CompSample(m) + e.CommSample(m)
-	e.After(dur, func() {
+	e.AfterWorker(m, dur, func() {
 		if e.Done() {
 			return
 		}

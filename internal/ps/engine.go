@@ -25,14 +25,23 @@ type Engine struct {
 	reps    []*replica
 	srv     *server
 	rec     *recorder
+	fleet   *fleet
 
 	seedRng   *rng.RNG
 	modelSeed uint64
 
 	loss         []float64 // last forward loss per worker, set by dispatched compute
+	waits        []func()  // wait for each worker's most recent dispatch (orphan drain, see Pull)
 	snapUpdates  []int     // server update counter at each worker's last Pull
 	stalenessSum int
 	stalenessN   int
+	maxStale     int
+
+	// Scenario bookkeeping (fleet.go): armed timeline events and how many of
+	// them have been applied.
+	scnPending    int
+	revivePending int
+	scnApplied    int
 }
 
 // newEngine builds the shared preamble the five run* monoliths used to
@@ -74,9 +83,11 @@ func newEngine(env Env, st Strategy) *Engine {
 		sampler:     cfg.Cost.NewSampler(M, costRng),
 		reps:        reps,
 		srv:         newServer(w, bnAcc, cfg, bpe),
+		fleet:       newFleet(M, cfg.Scenario),
 		seedRng:     seedRng,
 		modelSeed:   modelSeed,
 		loss:        make([]float64, M),
+		waits:       make([]func(), M),
 		snapUpdates: make([]int, M),
 	}
 	e.rec = newRecorder(env, modelSeed, backend)
@@ -84,20 +95,25 @@ func newEngine(env Env, st Strategy) *Engine {
 }
 
 // run executes the strategy to budget exhaustion and assembles the result.
+// A scenario that permanently empties the fleet truncates the run instead:
+// the clock drains and the result carries however far training got.
 func (e *Engine) run() Result {
 	defer e.backend.Close()
 	e.strategy.Setup(e)
+	e.installScenario()
 	for m := range e.reps {
 		e.launch(m)
 	}
 	e.clock.Run(func() bool { return e.srv.done() })
 	points := e.rec.finish(e.srv, e.clock.Now())
 	res := Result{
-		Algo:      e.strategy.Algo(),
-		BNMode:    e.cfg.BNMode,
-		Points:    points,
-		VirtualMs: e.clock.Now(),
-		Updates:   e.srv.updates,
+		Algo:           e.strategy.Algo(),
+		BNMode:         e.cfg.BNMode,
+		Points:         points,
+		VirtualMs:      e.clock.Now(),
+		Updates:        e.srv.updates,
+		MaxStaleness:   e.maxStale,
+		ScenarioEvents: e.scnApplied,
 	}
 	if e.stalenessN > 0 {
 		res.MeanStaleness = float64(e.stalenessSum) / float64(e.stalenessN)
@@ -106,9 +122,10 @@ func (e *Engine) run() Result {
 	return finalize(res, e.cfg)
 }
 
-// launch arms worker m's next iteration while sample budget remains.
+// launch arms worker m's next iteration while it is part of the fleet and
+// sample budget remains.
 func (e *Engine) launch(m int) {
-	if !e.srv.done() {
+	if e.fleet.active[m] && !e.srv.done() {
 		e.strategy.Launch(e, m)
 	}
 }
@@ -166,8 +183,16 @@ func (e *Engine) After(delay float64, f func()) { e.clock.ScheduleAfter(delay, f
 
 // Pull installs the server's current weights and global BN statistics into
 // worker m's replica (Algorithm 1 lines 1–2) and snapshots the update
-// counter for staleness accounting.
+// counter for staleness accounting. It first drains the worker's most
+// recent dispatch: a crash cancels the completion event that would have
+// waited on it, so a recovered worker may still have an orphaned task
+// touching the replica on its lane — Pull must not overwrite replica state
+// under it. In crash-free operation the strategy has already waited, so the
+// drain returns immediately.
 func (e *Engine) Pull(m int) {
+	if w := e.waits[m]; w != nil {
+		w()
+	}
 	e.reps[m].pull(e.srv.w, e.srv.bnAcc)
 	e.snapUpdates[m] = e.srv.updates
 }
@@ -177,7 +202,9 @@ func (e *Engine) Pull(m int) {
 // hold the results.
 func (e *Engine) DispatchGradient(m int) (wait func()) {
 	rep := e.reps[m]
-	return e.backend.Dispatch(m, func() { e.loss[m], _ = rep.gradient() })
+	wait = e.backend.Dispatch(m, func() { e.loss[m], _ = rep.gradient() })
+	e.waits[m] = wait
+	return wait
 }
 
 // DispatchForward runs worker m's forward pass on the backend. After wait
@@ -185,7 +212,9 @@ func (e *Engine) DispatchGradient(m int) (wait func()) {
 // their batch statistics.
 func (e *Engine) DispatchForward(m int) (wait func()) {
 	rep := e.reps[m]
-	return e.backend.Dispatch(m, func() { e.loss[m] = rep.forward() })
+	wait = e.backend.Dispatch(m, func() { e.loss[m] = rep.forward() })
+	e.waits[m] = wait
+	return wait
 }
 
 // DispatchBackward runs worker m's backward pass seeded with scale
@@ -193,7 +222,9 @@ func (e *Engine) DispatchForward(m int) (wait func()) {
 // holds the flat gradient.
 func (e *Engine) DispatchBackward(m int, scale float64) (wait func()) {
 	rep := e.reps[m]
-	return e.backend.Dispatch(m, func() { rep.backward(scale) })
+	wait = e.backend.Dispatch(m, func() { rep.backward(scale) })
+	e.waits[m] = wait
+	return wait
 }
 
 // Loss returns worker m's most recent forward loss. Valid only after the
@@ -214,7 +245,11 @@ func (e *Engine) FoldStats(m int) { e.srv.bnAcc.Update(e.reps[m].stats()) }
 // shared shape), curve recording, and the worker's next Launch while budget
 // remains.
 func (e *Engine) Commit(m int, grad []float64, batches int) {
-	e.stalenessSum += e.srv.updates - e.snapUpdates[m]
+	st := e.Staleness(m)
+	e.stalenessSum += st
+	if st > e.maxStale {
+		e.maxStale = st
+	}
 	e.stalenessN++
 	e.Apply(grad, batches)
 	e.launch(m)

@@ -4,7 +4,93 @@ import (
 	"sort"
 	"sync"
 	"testing"
+
+	"lcasgd/internal/scenario"
 )
+
+// allAlgos is the full algorithm matrix: the paper's five plus the
+// staleness-aware sixth.
+var allAlgos = []Algo{SGD, SSGD, ASGD, SAASGD, DCASGD, LCASGD}
+
+// equivalenceScenarios are the non-trivial timelines every algorithm must
+// stay backend-bit-identical under: overlapping crashes with recoveries on
+// top of a periodic congestion phase, and an elastic fleet that starts
+// small, grows, loses its first worker, and gets it back. Times are tuned
+// to the tiny test environment (iterations ~30 virtual ms, runs a few
+// hundred ms).
+func equivalenceScenarios() []*scenario.Scenario {
+	return []*scenario.Scenario{
+		{
+			Name: "crash-recovery",
+			Events: []scenario.Event{
+				{At: 40, Kind: scenario.Crash, Worker: 1},
+				{At: 45, Kind: scenario.Crash, Worker: 0},
+				{At: 60, Period: 90, Kind: scenario.PhaseShift, Worker: -1, CompScale: 1.8, CommScale: 2.2},
+				{At: 70, Kind: scenario.Crash, Worker: 2},
+				{At: 95, Kind: scenario.Recover, Worker: 0},
+				{At: 105, Period: 90, Kind: scenario.PhaseShift, Worker: -1, CompScale: 1, CommScale: 1},
+				{At: 110, Kind: scenario.Recover, Worker: 1},
+				{At: 150, Kind: scenario.Recover, Worker: 2},
+			},
+		},
+		{
+			Name:           "elastic",
+			InitialWorkers: 2,
+			Events: []scenario.Event{
+				{At: 30, Kind: scenario.Join, Worker: 2},
+				{At: 55, Kind: scenario.PhaseShift, Worker: 0, CompScale: 2.5, CommScale: 1.5},
+				{At: 60, Kind: scenario.Join, Worker: 3},
+				{At: 120, Kind: scenario.Leave, Worker: 0},
+				{At: 200, Kind: scenario.Join, Worker: 0},
+			},
+		},
+	}
+}
+
+// assertBackendEquivalent runs env on both backends and requires the
+// Results to match bit for bit.
+func assertBackendEquivalent(t *testing.T, label string, mk func() Env) {
+	t.Helper()
+	seq := mk()
+	seq.Cfg.Backend = BackendSequential
+	conc := mk()
+	conc.Cfg.Backend = BackendConcurrent
+	a, b := Run(seq), Run(conc)
+
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: point counts differ: %d vs %d", label, len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("%s: point %d differs: %+v vs %+v", label, i, a.Points[i], b.Points[i])
+		}
+	}
+	if a.VirtualMs != b.VirtualMs {
+		t.Fatalf("%s: virtual clocks differ: %v vs %v", label, a.VirtualMs, b.VirtualMs)
+	}
+	if a.Updates != b.Updates {
+		t.Fatalf("%s: update counts differ: %d vs %d", label, a.Updates, b.Updates)
+	}
+	if a.MeanStaleness != b.MeanStaleness || a.MaxStaleness != b.MaxStaleness {
+		t.Fatalf("%s: staleness differs: (%v,%d) vs (%v,%d)",
+			label, a.MeanStaleness, a.MaxStaleness, b.MeanStaleness, b.MaxStaleness)
+	}
+	if a.ScenarioEvents != b.ScenarioEvents {
+		t.Fatalf("%s: applied scenario events differ: %d vs %d", label, a.ScenarioEvents, b.ScenarioEvents)
+	}
+	if a.FinalTrainErr != b.FinalTrainErr || a.FinalTestErr != b.FinalTestErr {
+		t.Fatalf("%s: final errors differ: (%v,%v) vs (%v,%v)",
+			label, a.FinalTrainErr, a.FinalTestErr, b.FinalTrainErr, b.FinalTestErr)
+	}
+	if len(a.LossTrace) != len(b.LossTrace) || len(a.StepTrace) != len(b.StepTrace) {
+		t.Fatalf("%s: predictor trace lengths differ", label)
+	}
+	for i := range a.LossTrace {
+		if a.LossTrace[i] != b.LossTrace[i] {
+			t.Fatalf("%s: loss trace point %d differs", label, i)
+		}
+	}
+}
 
 // TestBackendEquivalence is the engine's central guarantee: for every
 // algorithm and fleet size, the concurrent backend produces a bit-identical
@@ -12,46 +98,36 @@ import (
 // traces) to the sequential simulator, because all shared state still
 // mutates on the event loop in simulated-clock order.
 func TestBackendEquivalence(t *testing.T) {
-	for _, algo := range []Algo{SGD, SSGD, ASGD, DCASGD, LCASGD} {
+	for _, algo := range allAlgos {
 		for _, m := range []int{1, 4, 8} {
 			if algo == SGD && m != 1 {
 				continue // SGD pins its fleet to one replica
 			}
-			seq := tinyEnvSeeded(algo, m, 2)
-			seq.Cfg.Backend = BackendSequential
-			conc := tinyEnvSeeded(algo, m, 2)
-			conc.Cfg.Backend = BackendConcurrent
-			a, b := Run(seq), Run(conc)
+			algo, m := algo, m
+			assertBackendEquivalent(t, string(algo)+"/stationary", func() Env {
+				return tinyEnvSeeded(algo, m, 2)
+			})
+		}
+	}
+}
 
-			if len(a.Points) != len(b.Points) {
-				t.Fatalf("%s M=%d: point counts differ: %d vs %d", algo, m, len(a.Points), len(b.Points))
+// TestBackendEquivalenceUnderScenarios extends the guarantee to fleet
+// churn: crashes with recoveries and elastic resizes pause, retire and
+// admit worker lanes mid-run, and both backends must still agree bit for
+// bit — lane lifecycle is pure event-loop state.
+func TestBackendEquivalenceUnderScenarios(t *testing.T) {
+	for _, scn := range equivalenceScenarios() {
+		for _, algo := range allAlgos {
+			algo, scn := algo, scn
+			m := 4
+			if algo == SGD {
+				m = 1
 			}
-			for i := range a.Points {
-				if a.Points[i] != b.Points[i] {
-					t.Fatalf("%s M=%d: point %d differs: %+v vs %+v", algo, m, i, a.Points[i], b.Points[i])
-				}
-			}
-			if a.VirtualMs != b.VirtualMs {
-				t.Fatalf("%s M=%d: virtual clocks differ: %v vs %v", algo, m, a.VirtualMs, b.VirtualMs)
-			}
-			if a.Updates != b.Updates {
-				t.Fatalf("%s M=%d: update counts differ: %d vs %d", algo, m, a.Updates, b.Updates)
-			}
-			if a.MeanStaleness != b.MeanStaleness {
-				t.Fatalf("%s M=%d: staleness differs: %v vs %v", algo, m, a.MeanStaleness, b.MeanStaleness)
-			}
-			if a.FinalTrainErr != b.FinalTrainErr || a.FinalTestErr != b.FinalTestErr {
-				t.Fatalf("%s M=%d: final errors differ: (%v,%v) vs (%v,%v)",
-					algo, m, a.FinalTrainErr, a.FinalTestErr, b.FinalTrainErr, b.FinalTestErr)
-			}
-			if len(a.LossTrace) != len(b.LossTrace) || len(a.StepTrace) != len(b.StepTrace) {
-				t.Fatalf("%s M=%d: predictor trace lengths differ", algo, m)
-			}
-			for i := range a.LossTrace {
-				if a.LossTrace[i] != b.LossTrace[i] {
-					t.Fatalf("%s M=%d: loss trace point %d differs", algo, m, i)
-				}
-			}
+			assertBackendEquivalent(t, string(algo)+"/"+scn.Name, func() Env {
+				env := tinyEnvSeeded(algo, m, 2)
+				env.Cfg.Scenario = scn
+				return env
+			})
 		}
 	}
 }
@@ -77,12 +153,21 @@ func (toyStrategy) Launch(e *Engine, m int) {
 }
 func (toyStrategy) Finish(*Engine, *Result) {}
 
+// unregisterStrategy removes a registered algorithm so registration tests
+// stay re-runnable (RegisterStrategy rejects duplicates).
+func unregisterStrategy(algo Algo) {
+	strategyMu.Lock()
+	delete(strategies, algo)
+	strategyMu.Unlock()
+}
+
 // TestRegisterToyStrategy proves a new algorithm needs only the Strategy
 // interface: register, run through the generic engine, and train — on both
 // backends, with identical results, since equivalence is an engine property
 // strategies inherit for free.
 func TestRegisterToyStrategy(t *testing.T) {
 	RegisterStrategy("TOY", func(Config) Strategy { return toyStrategy{} })
+	t.Cleanup(func() { unregisterStrategy("TOY") })
 	env := tinyEnvSeeded("TOY", 4, 4)
 	res := Run(env)
 	if res.Algo != "TOY" {
@@ -105,6 +190,35 @@ func TestRegisterToyStrategy(t *testing.T) {
 			t.Fatalf("toy strategy point %d differs across backends", i)
 		}
 	}
+}
+
+func TestRegisterStrategyRejectsDuplicate(t *testing.T) {
+	RegisterStrategy("dup-probe", func(Config) Strategy { return toyStrategy{} })
+	t.Cleanup(func() { unregisterStrategy("dup-probe") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	RegisterStrategy("dup-probe", func(Config) Strategy { return toyStrategy{} })
+}
+
+func TestRegisterStrategyRejectsEmptyName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty algorithm name")
+		}
+	}()
+	RegisterStrategy("", func(Config) Strategy { return toyStrategy{} })
+}
+
+func TestRegisterStrategyRejectsNilFactory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil factory")
+		}
+	}()
+	RegisterStrategy("nil-factory-probe", nil)
 }
 
 func TestRunPanicsOnUnknownBackend(t *testing.T) {

@@ -1,0 +1,160 @@
+package ps
+
+import "lcasgd/internal/scenario"
+
+// This file is the engine's fleet-lifecycle layer: which workers are
+// currently part of the run, and how a scenario timeline (crashes,
+// recoveries, elastic resizes, cost phase shifts) mutates that membership on
+// the simulated clock. Everything here runs on the event loop, so lane
+// churn is identical — and results bit-identical — across backends.
+
+// FleetWatcher is an optional Strategy refinement for algorithms whose
+// scheduling spans workers (SSGD's barrier). The engine calls WorkerRetired
+// on the event loop when a worker crashes or leaves; the worker's pending
+// AfterWorker events are already cancelled at that point, so a strategy
+// waiting on the worker must recompute (for a barrier: shrink the round,
+// and close it if the retired worker was the last one outstanding).
+// Admission needs no callback — the engine re-launches an admitted worker
+// through the strategy's ordinary Launch.
+type FleetWatcher interface {
+	WorkerRetired(e *Engine, m int)
+}
+
+// fleet tracks per-worker membership. gen counts a worker's retirements:
+// AfterWorker events capture the generation at scheduling time and are
+// dropped if it moved, which is what makes a crash cancel the worker's
+// in-flight pipeline without any backend coordination (the dispatched
+// compute still drains on its lane, touching only worker-private state).
+type fleet struct {
+	active []bool
+	gen    []uint64
+}
+
+func newFleet(workers int, scn *scenario.Scenario) *fleet {
+	f := &fleet{active: make([]bool, workers), gen: make([]uint64, workers)}
+	initial := workers
+	if scn != nil && scn.InitialWorkers > 0 && scn.InitialWorkers < workers {
+		initial = scn.InitialWorkers
+	}
+	for m := 0; m < initial; m++ {
+		f.active[m] = true
+	}
+	return f
+}
+
+// AfterWorker schedules f on the virtual clock like After, bound to worker
+// m's current fleet generation: if m is retired before the event fires, the
+// event is dropped. Strategies use it for every per-worker pipeline stage so
+// a crash cancels the worker's in-flight iteration; events that must fire
+// regardless of fleet churn use After.
+func (e *Engine) AfterWorker(m int, delay float64, f func()) {
+	gen := e.fleet.gen[m]
+	e.clock.ScheduleAfter(delay, func() {
+		if e.fleet.gen[m] == gen {
+			f()
+		}
+	})
+}
+
+// Staleness returns the number of server updates applied since worker m's
+// last Pull — the τ of staleness-aware update rules.
+func (e *Engine) Staleness(m int) int { return e.srv.updates - e.snapUpdates[m] }
+
+// retire removes worker m from the fleet: its generation advances (dropping
+// every pending AfterWorker event) and barrier-style strategies are told so
+// they stop waiting for it.
+func (e *Engine) retire(m int) {
+	e.fleet.gen[m]++
+	e.fleet.active[m] = false
+	if fw, ok := e.strategy.(FleetWatcher); ok {
+		fw.WorkerRetired(e, m)
+	}
+}
+
+// admit (re-)adds worker m to the fleet and starts its first iteration. The
+// worker's next Pull re-snapshots the server, so a recovered worker resumes
+// from current state, not from where it crashed.
+func (e *Engine) admit(m int) {
+	e.fleet.active[m] = true
+	e.launch(m)
+}
+
+// installScenario compiles the configured scenario onto the clock. Events
+// targeting ranks beyond the actual fleet are skipped, so one scenario
+// serves any worker count (sequential SGD's one-replica fleet included).
+func (e *Engine) installScenario() {
+	scn := e.cfg.Scenario
+	if scn == nil {
+		return
+	}
+	for _, ev := range scn.Events {
+		if ev.Worker >= len(e.reps) {
+			continue
+		}
+		e.scheduleScenarioEvent(ev)
+	}
+}
+
+// scheduleScenarioEvent arms one occurrence of ev and, for periodic events,
+// re-arms the next occurrence after applying it. scnPending/revivePending
+// track how many armed events remain so the stall guard below can tell a
+// temporarily idle fleet from a permanently dead one.
+func (e *Engine) scheduleScenarioEvent(ev scenario.Event) {
+	e.scnPending++
+	revive := ev.Kind == scenario.Recover || ev.Kind == scenario.Join
+	if revive {
+		e.revivePending++
+	}
+	e.clock.ScheduleAt(ev.At, func() {
+		e.scnPending--
+		if revive {
+			e.revivePending--
+		}
+		e.applyScenarioEvent(ev)
+		if ev.Period > 0 && !e.srv.done() && !e.fleetStalled() {
+			next := ev
+			next.At = ev.At + ev.Period
+			e.scheduleScenarioEvent(next)
+		}
+	})
+}
+
+// fleetStalled reports that no worker is active, nothing but scenario
+// events remains on the clock, and no armed event can revive the fleet.
+// Periodic events stop re-arming at that point; otherwise a timeline that
+// permanently empties the fleet would tick forever while training never
+// finishes. The run then truncates deterministically instead of hanging.
+func (e *Engine) fleetStalled() bool {
+	for _, a := range e.fleet.active {
+		if a {
+			return false
+		}
+	}
+	return e.revivePending == 0 && e.clock.Pending() <= e.scnPending
+}
+
+// applyScenarioEvent executes one timeline event at its virtual time.
+// Redundant events (crashing a dead worker, admitting a live one) are
+// ignored and not counted, which makes periodic crash/recover pairs
+// idempotent however they interleave with the run's natural end.
+func (e *Engine) applyScenarioEvent(ev scenario.Event) {
+	switch ev.Kind {
+	case scenario.PhaseShift:
+		if ev.Worker < 0 {
+			e.sampler.SetPhase(ev.CompScale, ev.CommScale)
+		} else {
+			e.sampler.SetWorkerPhase(ev.Worker, ev.CompScale, ev.CommScale)
+		}
+	case scenario.Crash, scenario.Leave:
+		if !e.fleet.active[ev.Worker] {
+			return
+		}
+		e.retire(ev.Worker)
+	case scenario.Recover, scenario.Join:
+		if e.fleet.active[ev.Worker] {
+			return
+		}
+		e.admit(ev.Worker)
+	}
+	e.scnApplied++
+}

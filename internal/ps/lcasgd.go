@@ -52,7 +52,7 @@ func (s *lcStrategy) Launch(e *Engine, m int) {
 	tcomp := e.CompSample(m)
 	tfwd := tcomp / 3
 	tbwd := tcomp - tfwd
-	e.After(tcomm+tfwd, func() {
+	e.AfterWorker(m, tcomm+tfwd, func() {
 		if e.Done() {
 			return
 		}
@@ -93,7 +93,7 @@ func (s *lcStrategy) Launch(e *Engine, m int) {
 		}
 		bwdWait := e.DispatchBackward(m, scale)
 		s.lastComp[m] = tbwd
-		e.After(s.cfg.PredVirtualMs+tcomm+tbwd+e.CommSample(m), func() {
+		e.AfterWorker(m, s.cfg.PredVirtualMs+tcomm+tbwd+e.CommSample(m), func() {
 			if e.Done() {
 				return
 			}

@@ -1,8 +1,12 @@
 // Package ps implements the five training algorithms the paper evaluates —
 // sequential SGD, synchronous SGD (SSGD, Formula 1), asynchronous SGD
 // (ASGD, Formula 2), delay-compensated ASGD (DC-ASGD, Formula 3, Zheng et
-// al. 2017) and the paper's LC-ASGD (Algorithms 1–4) — as parameter-server
-// strategies executed on a deterministic discrete-event cluster simulation.
+// al. 2017) and the paper's LC-ASGD (Algorithms 1–4) — plus a sixth beyond
+// the paper, staleness-aware ASGD (SA-ASGD, Zhang et al. 2016), as
+// parameter-server strategies executed on a deterministic discrete-event
+// cluster simulation. A Config.Scenario additionally replays cluster events
+// (congestion phases, crashes/recoveries, elastic resizes) on the simulated
+// clock, so every algorithm can be stressed on a non-stationary fleet.
 //
 // The package is layered (see ROADMAP.md's Architecture section):
 //
@@ -32,6 +36,7 @@ import (
 	"lcasgd/internal/nn"
 	"lcasgd/internal/opt"
 	"lcasgd/internal/rng"
+	"lcasgd/internal/scenario"
 )
 
 // Algo identifies a training algorithm.
@@ -45,6 +50,12 @@ const (
 	DCASGD Algo = "DC-ASGD"
 	LCASGD Algo = "LC-ASGD"
 )
+
+// SAASGD is the staleness-aware ASGD of Zhang et al. (IJCAI 2016) — the
+// first algorithm beyond the paper's five, added through RegisterStrategy
+// (see sa.go). Each gradient's step size is divided by its staleness, so
+// long-delayed gradients move the server less.
+const SAASGD Algo = "SA-ASGD"
 
 // Config controls one training run.
 type Config struct {
@@ -67,6 +78,11 @@ type Config struct {
 
 	Seed uint64
 	Cost cluster.CostModel
+
+	// Scenario replays a timeline of cluster events — congestion phases,
+	// worker crashes/recoveries, elastic fleet resizes — on the simulated
+	// clock during the run. Nil means the stationary cluster of the paper.
+	Scenario *scenario.Scenario
 
 	EvalEvery int // epochs between curve points (default 1)
 	EvalBatch int // inference batch size (default 150)
@@ -150,6 +166,12 @@ type Result struct {
 	VirtualMs                   float64 // total virtual duration
 	Updates                     int
 	MeanStaleness               float64
+	MaxStaleness                int // worst staleness any committed gradient saw
+
+	// ScenarioEvents counts the scenario timeline events that actually
+	// applied during the run (0 without a scenario); redundant events —
+	// crashing a dead worker, re-admitting a live one — are not counted.
+	ScenarioEvents int
 
 	// LC-ASGD extras.
 	LossTrace, StepTrace         []core.TracePoint
@@ -168,6 +190,11 @@ func Run(env Env) Result {
 	}
 	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
 		panic(fmt.Sprintf("ps: bad batch/epochs in %+v", cfg))
+	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(); err != nil {
+			panic(fmt.Sprintf("ps: %v", err))
+		}
 	}
 	return newEngine(env, strategyFor(cfg)).run()
 }

@@ -1,0 +1,52 @@
+package ps
+
+// saStrategy executes staleness-aware ASGD (Zhang et al., "Staleness-aware
+// Async-SGD for Distributed Deep Learning", IJCAI 2016). The worker loop is
+// plain ASGD — snapshot, compute, commit one round-trip later — but each
+// arriving gradient is modulated by its realized staleness τ: the effective
+// step is γ·M/τ·g, the 1/τ rule of the paper on top of the same linearly
+// scaled base rate (Goyal et al. 2017) this reproduction's SSGD uses, and
+// for the same reason — under the scaled-down sample budget an unscaled
+// 1/τ would cut every step by the fleet's typical staleness τ ≈ M−1 and
+// underfit. At that typical staleness the effective step is ≈γ, so SA-ASGD
+// matches ASGD on a calm cluster while damping the gradients that
+// congestion phases, stragglers and crash recoveries delay the most —
+// which is what makes it the natural robustness baseline between raw ASGD
+// and the prediction-based LC-ASGD.
+//
+// It is registered through the same RegisterStrategy extension point any
+// out-of-tree algorithm would use: the engine supplies the fleet, clock,
+// staleness accounting (Staleness) and crash semantics (AfterWorker) for
+// free, so the whole algorithm is the Launch body below.
+type saStrategy struct{}
+
+func (saStrategy) Algo() Algo { return SAASGD }
+
+func (saStrategy) Setup(e *Engine) {
+	e.SetLRScale(float64(e.Workers()))
+}
+
+func (saStrategy) Launch(e *Engine, m int) {
+	e.Pull(m)
+	wait := e.DispatchGradient(m)
+	dur := e.CommSample(m) + e.CompSample(m) + e.CommSample(m)
+	e.AfterWorker(m, dur, func() {
+		if e.Done() {
+			return
+		}
+		wait()
+		grad := e.Gradient(m)
+		// 1/τ modulation with τ floored at 1: a zero-staleness gradient is
+		// simply fresh, not a license to overshoot the scaled base rate.
+		if tau := e.Staleness(m); tau > 1 {
+			inv := 1 / float64(tau)
+			for i := range grad {
+				grad[i] *= inv
+			}
+		}
+		e.FoldStats(m)
+		e.Commit(m, grad, 1)
+	})
+}
+
+func (saStrategy) Finish(*Engine, *Result) {}

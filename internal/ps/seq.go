@@ -24,7 +24,7 @@ func (sgdStrategy) Setup(*Engine) {}
 func (sgdStrategy) Launch(e *Engine, m int) {
 	e.Pull(m)
 	wait := e.DispatchGradient(m)
-	e.After(e.CompSample(m), func() {
+	e.AfterWorker(m, e.CompSample(m), func() {
 		if e.Done() {
 			return
 		}

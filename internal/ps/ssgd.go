@@ -1,19 +1,31 @@
 package ps
 
-// ssgdStrategy is synchronous distributed SGD (Formula 1): every round all
-// M workers compute gradients on the same weight snapshot, the server
-// averages them and applies one update. The synchronization barrier means
-// each round lasts as long as the slowest worker — the convergence-speed
-// penalty visible in Figures 4 and 6 — and each round consumes M batches,
-// so larger M means fewer updates per epoch (the effective-batch-size
-// growth the paper blames for SSGD's accuracy loss).
+import "sort"
+
+// ssgdStrategy is synchronous distributed SGD (Formula 1): every round the
+// fleet computes gradients on the same weight snapshot, the server averages
+// them and applies one update. The synchronization barrier means each round
+// lasts as long as the slowest worker — the convergence-speed penalty
+// visible in Figures 4 and 6 — and each round consumes one batch per
+// participant, so larger fleets mean fewer updates per epoch (the
+// effective-batch-size growth the paper blames for SSGD's accuracy loss).
 //
-// On the engine, a round is M Launch calls at the same virtual instant (so
-// every replica snapshots identical weights) and M arrival events; the
-// barrier exit is simply the last arrival, which on the event queue is the
-// max over workers of the round-trip-plus-compute time.
+// On the engine, a round is one Launch per active worker at the same
+// virtual instant (so every replica snapshots identical weights) and as
+// many arrival events; the barrier exit is the last arrival, which on the
+// event queue is the max over participants of the round-trip-plus-compute
+// time. The barrier is fleet-churn-aware: a worker retired mid-round
+// (scenario crash or leave) is dropped from the outstanding set — its
+// arrival event is already cancelled — and the round closes over whoever
+// actually arrived; a worker admitted mid-round parks in pending and joins
+// at the next round boundary, since it could not have pulled the round's
+// snapshot.
 type ssgdStrategy struct {
-	arrived int
+	inRound bool
+	roundAt float64      // virtual time the current round's snapshots were pulled
+	members map[int]bool // launched into the round, arrival still outstanding
+	arrived []int
+	pending []int // admitted mid-round, start at the next boundary
 	waits   []func()
 	avg     []float64
 }
@@ -27,47 +39,112 @@ func (s *ssgdStrategy) Setup(e *Engine) {
 	// update steps than the paper's full-scale budget affords it. Scaling γ
 	// by M makes each round equivalent to summing the M worker gradients,
 	// preserving SSGD's paper-reported mild (not catastrophic) degradation.
+	// The scale is fixed at the configured fleet size; elastic scenarios
+	// that shrink the fleet keep it, exactly as a statically-tuned LR would
+	// behave on a real cluster that loses nodes.
 	e.SetLRScale(float64(e.Workers()))
+	s.members = make(map[int]bool, e.Workers())
 	s.waits = make([]func(), e.Workers())
 	s.avg = make([]float64, e.NParams())
 }
 
 func (s *ssgdStrategy) Launch(e *Engine, m int) {
-	e.Pull(m)
-	s.waits[m] = e.DispatchGradient(m)
-	// Round trip plus compute; the barrier takes the max.
-	dur := e.CommSample(m) + e.CompSample(m) + e.CommSample(m)
-	e.After(dur, func() { s.arrive(e) })
-}
-
-// arrive counts a worker into the barrier; the M-th arrival averages the
-// round's gradients, folds BN statistics in rank order (so under BNReplace
-// the last rank wins, as in the monolithic runner), applies the single
-// update and restarts the fleet.
-func (s *ssgdStrategy) arrive(e *Engine) {
-	s.arrived++
-	M := e.Workers()
-	if s.arrived < M {
+	if s.inRound && e.Now() != s.roundAt {
+		// A round is already collecting arrivals; this worker (a mid-round
+		// admit) waits for the next boundary.
+		s.pending = append(s.pending, m)
 		return
 	}
-	s.arrived = 0
-	for i := range s.avg {
-		s.avg[i] = 0
+	if !s.inRound {
+		s.inRound = true
+		s.roundAt = e.Now()
 	}
-	for m := 0; m < M; m++ {
-		s.waits[m]()
-		for i, g := range e.Gradient(m) {
-			s.avg[i] += g
+	if s.members[m] {
+		// Already launched into the round forming at this instant. Reachable
+		// when a worker crashes after arriving and recovers before the round
+		// closes: closeRound's restart list then names it twice (once as an
+		// arrival, once as a parked admit), and the second launch must not
+		// dispatch a duplicate iteration.
+		return
+	}
+	s.members[m] = true
+	e.Pull(m)
+	s.waits[m] = e.DispatchGradient(m)
+	// Round trip plus compute; the barrier takes the max over participants.
+	dur := e.CommSample(m) + e.CompSample(m) + e.CommSample(m)
+	e.AfterWorker(m, dur, func() { s.arrive(e, m) })
+}
+
+// arrive counts a worker into the barrier; the last outstanding arrival
+// closes the round.
+func (s *ssgdStrategy) arrive(e *Engine, m int) {
+	if !s.members[m] {
+		// Every arrival event pairs with exactly one membership insertion
+		// (Launch refuses duplicates, retirement cancels the event with the
+		// membership). A stray arrival means that invariant broke; corrupting
+		// the barrier silently would poison every later round.
+		panic("ps: SSGD arrival from a worker not in the round")
+	}
+	delete(s.members, m)
+	s.arrived = append(s.arrived, m)
+	if len(s.members) == 0 {
+		s.closeRound(e)
+	}
+}
+
+// closeRound averages the arrived gradients, folds BN statistics in rank
+// order (so under BNReplace the last rank wins, as in the monolithic
+// runner), applies the single update charged with one batch per arrival,
+// and restarts the fleet — the arrivals plus any workers admitted
+// mid-round. A round whose every participant was retired before arriving
+// applies nothing; pending admits still restart, forming the next round.
+func (s *ssgdStrategy) closeRound(e *Engine) {
+	s.inRound = false
+	arr := s.arrived
+	s.arrived = nil
+	sort.Ints(arr)
+	if len(arr) > 0 {
+		for i := range s.avg {
+			s.avg[i] = 0
 		}
-		e.FoldStats(m)
+		for _, m := range arr {
+			s.waits[m]()
+			for i, g := range e.Gradient(m) {
+				s.avg[i] += g
+			}
+			e.FoldStats(m)
+		}
+		inv := 1 / float64(len(arr))
+		for i := range s.avg {
+			s.avg[i] *= inv
+		}
+		e.Apply(s.avg, len(arr))
 	}
-	inv := 1 / float64(M)
-	for i := range s.avg {
-		s.avg[i] *= inv
-	}
-	e.Apply(s.avg, M)
-	for m := 0; m < M; m++ {
+	next := append(arr, s.pending...)
+	s.pending = nil
+	sort.Ints(next)
+	for _, m := range next {
 		e.Relaunch(m)
+	}
+}
+
+// WorkerRetired shrinks the barrier when a participant crashes or leaves
+// mid-round: its arrival event is already cancelled, so the round must stop
+// waiting for it — and close immediately if it was the last one
+// outstanding. A retired mid-round admit just leaves the pending list.
+func (s *ssgdStrategy) WorkerRetired(e *Engine, m int) {
+	for i, p := range s.pending {
+		if p == m {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	if !s.members[m] {
+		return
+	}
+	delete(s.members, m)
+	if s.inRound && len(s.members) == 0 {
+		s.closeRound(e)
 	}
 }
 

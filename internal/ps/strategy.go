@@ -51,11 +51,22 @@ var (
 )
 
 // RegisterStrategy installs a strategy factory for algo, making it runnable
-// through Run. Registering an already-known algorithm replaces its factory;
-// the five paper algorithms are registered at init.
+// through Run. The built-in algorithms are registered at init; registering
+// an empty name, a nil factory, or a name already taken panics — silently
+// replacing an algorithm would let two packages fight over a name and
+// corrupt every experiment referencing it.
 func RegisterStrategy(algo Algo, factory func(Config) Strategy) {
+	if algo == "" {
+		panic("ps: RegisterStrategy with empty algorithm name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("ps: RegisterStrategy(%q) with nil factory", algo))
+	}
 	strategyMu.Lock()
 	defer strategyMu.Unlock()
+	if _, dup := strategies[algo]; dup {
+		panic(fmt.Sprintf("ps: RegisterStrategy called twice for %q", algo))
+	}
 	strategies[algo] = factory
 }
 
@@ -80,4 +91,5 @@ func init() {
 		return &asyncStrategy{algo: DCASGD, dc: true}
 	})
 	RegisterStrategy(LCASGD, func(Config) Strategy { return &lcStrategy{} })
+	RegisterStrategy(SAASGD, func(Config) Strategy { return saStrategy{} })
 }

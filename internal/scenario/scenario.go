@@ -1,0 +1,208 @@
+// Package scenario defines deterministic timelines of cluster events — cost
+// phase shifts (congestion windows scaling compute/communication means),
+// per-worker crashes and recoveries, and elastic fleet resizes (workers
+// joining or leaving mid-run). The ps engine compiles a Scenario onto its
+// simulated clock, so every event fires at an exact virtual time and the run
+// stays bit-identical across execution backends and repetitions.
+//
+// The stationary cluster.CostModel answers "how slow is this fleet"; a
+// Scenario answers "what happens to this fleet while it trains". Chen et al.
+// (Revisiting Distributed Synchronous SGD) show that straggler and failure
+// dynamics dominate the sync-vs-async tradeoff, which is exactly what these
+// timelines let the harness stress.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a cluster event.
+type Kind string
+
+const (
+	// PhaseShift installs cost multipliers on the sampler: CompScale and
+	// CommScale multiply the sampled computation and communication times of
+	// the target worker (or the whole fleet when Worker is -1) until the
+	// next shift. Scales of 1 restore the nominal cost model.
+	PhaseShift Kind = "phase-shift"
+	// Crash retires a worker abruptly: its in-flight iteration is lost and
+	// it schedules no further work until a Recover event re-admits it.
+	Crash Kind = "crash"
+	// Recover re-admits a crashed worker; it re-pulls the current server
+	// state and resumes iterating.
+	Recover Kind = "recover"
+	// Join admits a worker that was not part of the initial fleet (elastic
+	// scale-up). Identical engine semantics to Recover; the distinct kind
+	// keeps timelines readable.
+	Join Kind = "join"
+	// Leave retires a worker gracefully (elastic scale-down). Identical
+	// engine semantics to Crash.
+	Leave Kind = "leave"
+)
+
+// Event is one timeline entry, timestamped in virtual milliseconds.
+type Event struct {
+	// At is the virtual time of the first occurrence.
+	At float64
+	// Period, when positive, repeats the event every Period milliseconds
+	// after At; zero means one-shot. Periodic pairs of PhaseShift events
+	// model recurring congestion windows, periodic Crash/Recover pairs a
+	// chronically flaky worker.
+	Period float64
+	Kind   Kind
+	// Worker targets one worker by rank. PhaseShift also accepts -1 for the
+	// whole fleet. Events targeting ranks beyond the actual fleet size are
+	// skipped at compile time, so one scenario serves any worker count.
+	Worker int
+	// CompScale and CommScale are the PhaseShift multipliers; both must be
+	// positive. Ignored by the other kinds.
+	CompScale, CommScale float64
+}
+
+// Scenario is a named, validated timeline of cluster events.
+type Scenario struct {
+	Name string
+	// InitialWorkers caps how many of the configured workers start active;
+	// ranks beyond it begin outside the fleet and enter via Join events.
+	// Zero means the whole configured fleet starts active.
+	InitialWorkers int
+	Events         []Event
+}
+
+// Validate checks the timeline is well-formed. A scenario must not rely on
+// permanently emptying the fleet: the engine truncates such runs rather than
+// hanging, which Validate cannot detect statically for periodic timelines.
+func (s *Scenario) Validate() error {
+	if s.InitialWorkers < 0 {
+		return fmt.Errorf("scenario %q: negative InitialWorkers %d", s.Name, s.InitialWorkers)
+	}
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("scenario %q event %d: negative time %v", s.Name, i, ev.At)
+		}
+		if ev.Period < 0 {
+			return fmt.Errorf("scenario %q event %d: negative period %v", s.Name, i, ev.Period)
+		}
+		switch ev.Kind {
+		case PhaseShift:
+			if ev.Worker < -1 {
+				return fmt.Errorf("scenario %q event %d: bad worker %d", s.Name, i, ev.Worker)
+			}
+			if ev.CompScale <= 0 || ev.CommScale <= 0 {
+				return fmt.Errorf("scenario %q event %d: non-positive phase scales %v/%v",
+					s.Name, i, ev.CompScale, ev.CommScale)
+			}
+		case Crash, Recover, Join, Leave:
+			if ev.Worker < 0 {
+				return fmt.Errorf("scenario %q event %d: %s needs a worker rank, got %d",
+					s.Name, i, ev.Kind, ev.Worker)
+			}
+		default:
+			return fmt.Errorf("scenario %q event %d: unknown kind %q", s.Name, i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// --- canned scenarios (cmd/lcexp -scenario) ---
+
+// None is the empty timeline: the stationary cluster of the paper.
+func None() Scenario { return Scenario{Name: "none"} }
+
+// Congestion alternates fleet-wide contention windows: from t=1.2s, every
+// 2.4s period spends half its time with computation 2.5× and communication
+// 3× slower — the "high and volatile" delays of the paper's introduction,
+// made non-stationary.
+func Congestion() Scenario {
+	return Scenario{
+		Name: "congestion",
+		Events: []Event{
+			{At: 1200, Period: 2400, Kind: PhaseShift, Worker: -1, CompScale: 2.5, CommScale: 3},
+			{At: 2400, Period: 2400, Kind: PhaseShift, Worker: -1, CompScale: 1, CommScale: 1},
+		},
+	}
+}
+
+// Flaky gives the fleet two chronically unreliable workers: worker 1 crashes
+// every 3s and is down for 700ms; worker 2 crashes on a phase-shifted 3s
+// cycle and is down for 500ms.
+func Flaky() Scenario {
+	return Scenario{
+		Name: "flaky",
+		Events: []Event{
+			{At: 900, Period: 3000, Kind: Crash, Worker: 1},
+			{At: 1600, Period: 3000, Kind: Recover, Worker: 1},
+			{At: 2300, Period: 3000, Kind: Crash, Worker: 2},
+			{At: 2800, Period: 3000, Kind: Recover, Worker: 2},
+		},
+	}
+}
+
+// Elastic starts with a two-worker fleet, scales up by one worker every
+// 600ms until the configured size is reached, retires worker 0 at t=4s (a
+// graceful scale-down once the late joiners carry the load) and re-admits
+// it at t=6s. The re-join matters beyond realism: on a one-replica fleet
+// (sequential SGD pins the fleet to one worker and every other event here
+// is skipped), an unpaired Leave of worker 0 would permanently empty the
+// fleet and silently truncate the run.
+func Elastic() Scenario {
+	s := Scenario{Name: "elastic", InitialWorkers: 2}
+	for rank := 2; rank < 16; rank++ {
+		s.Events = append(s.Events, Event{
+			At: 600 * float64(rank-1), Kind: Join, Worker: rank,
+		})
+	}
+	s.Events = append(s.Events,
+		Event{At: 4000, Kind: Leave, Worker: 0},
+		Event{At: 6000, Kind: Join, Worker: 0},
+	)
+	return s
+}
+
+// Mixed overlays Congestion and Flaky: recurring fleet-wide contention plus
+// unreliable workers, the harshest canned setting.
+func Mixed() Scenario {
+	s := Scenario{Name: "mixed"}
+	s.Events = append(s.Events, Congestion().Events...)
+	s.Events = append(s.Events, Flaky().Events...)
+	return s
+}
+
+// canned maps -scenario names to constructors. Constructors (not values)
+// keep Lookup results independently mutable.
+var canned = map[string]func() Scenario{
+	"none":       None,
+	"congestion": Congestion,
+	"flaky":      Flaky,
+	"elastic":    Elastic,
+	"mixed":      Mixed,
+}
+
+// Lookup returns the canned scenario with the given name.
+func Lookup(name string) (Scenario, error) {
+	mk, ok := canned[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (valid: %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists the canned scenario names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(canned))
+	for name := range canned {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canned returns every canned scenario, ordered by name.
+func Canned() []Scenario {
+	var out []Scenario
+	for _, name := range Names() {
+		out = append(out, canned[name]())
+	}
+	return out
+}

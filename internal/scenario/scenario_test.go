@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCannedScenariosValidate(t *testing.T) {
+	for _, s := range Canned() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("canned scenario %q invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		scn  Scenario
+		want string
+	}{
+		{"negative time", Scenario{Events: []Event{{At: -1, Kind: Crash, Worker: 0}}}, "negative time"},
+		{"negative period", Scenario{Events: []Event{{Period: -2, Kind: Crash, Worker: 0}}}, "negative period"},
+		{"unknown kind", Scenario{Events: []Event{{Kind: "explode", Worker: 0}}}, "unknown kind"},
+		{"crash without worker", Scenario{Events: []Event{{Kind: Crash, Worker: -1}}}, "needs a worker"},
+		{"zero phase scale", Scenario{Events: []Event{{Kind: PhaseShift, Worker: -1}}}, "phase scales"},
+		{"bad phase worker", Scenario{Events: []Event{{Kind: PhaseShift, Worker: -2, CompScale: 1, CommScale: 1}}}, "bad worker"},
+		{"negative initial", Scenario{InitialWorkers: -1}, "InitialWorkers"},
+	}
+	for _, c := range cases {
+		err := c.scn.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	for _, name := range names {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("Lookup(%q) returned scenario named %q", name, s.Name)
+		}
+	}
+	if _, err := Lookup("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown lookup error %v", err)
+	}
+	if len(Canned()) != len(names) {
+		t.Fatalf("Canned returned %d scenarios for %d names", len(Canned()), len(names))
+	}
+}
+
+func TestLookupResultsAreIndependent(t *testing.T) {
+	a, _ := Lookup("flaky")
+	b, _ := Lookup("flaky")
+	a.Events[0].Worker = 99
+	if b.Events[0].Worker == 99 {
+		t.Fatal("Lookup results share event storage")
+	}
+}
+
+func TestElasticStartsSmallAndGrows(t *testing.T) {
+	s := Elastic()
+	if s.InitialWorkers != 2 {
+		t.Fatalf("elastic initial fleet %d", s.InitialWorkers)
+	}
+	out := map[int]bool{} // ranks currently outside the fleet
+	for r := s.InitialWorkers; r < 16; r++ {
+		out[r] = true
+	}
+	joins := 0
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case Join:
+			joins++
+			if !out[ev.Worker] {
+				t.Fatalf("join at t=%v targets rank %d already in the fleet", ev.At, ev.Worker)
+			}
+			delete(out, ev.Worker)
+		case Leave:
+			if out[ev.Worker] {
+				t.Fatalf("leave at t=%v targets rank %d already outside the fleet", ev.At, ev.Worker)
+			}
+			out[ev.Worker] = true
+		}
+	}
+	if joins == 0 {
+		t.Fatal("elastic scenario has no joins")
+	}
+}
+
+func TestCannedScenariosNeverStrandASingleWorkerFleet(t *testing.T) {
+	// Every canned scenario must leave even a one-replica fleet (sequential
+	// SGD) alive at the end of its timeline: events for ranks ≥ 1 are
+	// skipped there, so worker 0's crash/leave events must all be paired
+	// with a later recover/join. An unpaired retirement would silently
+	// truncate the SGD baseline of every figure run under -scenario.
+	for _, s := range Canned() {
+		alive := true
+		for _, ev := range s.Events {
+			if ev.Worker != 0 {
+				continue
+			}
+			switch ev.Kind {
+			case Crash, Leave:
+				alive = false
+			case Recover, Join:
+				alive = true
+			}
+		}
+		if !alive {
+			t.Fatalf("scenario %q permanently retires worker 0", s.Name)
+		}
+	}
+}
+
+func TestFlakyPairsCrashWithRecovery(t *testing.T) {
+	s := Flaky()
+	down := map[int]bool{}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case Crash:
+			down[ev.Worker] = true
+		case Recover:
+			if !down[ev.Worker] {
+				t.Fatalf("recovery of worker %d without prior crash", ev.Worker)
+			}
+			delete(down, ev.Worker)
+		}
+	}
+	if len(down) != 0 {
+		t.Fatalf("workers crash without recovery: %v", down)
+	}
+}

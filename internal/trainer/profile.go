@@ -10,6 +10,7 @@ import (
 	"lcasgd/internal/data"
 	"lcasgd/internal/model"
 	"lcasgd/internal/ps"
+	"lcasgd/internal/scenario"
 )
 
 // Profile is one (dataset, model, training recipe) combination. Quick
@@ -37,6 +38,12 @@ type Profile struct {
 	// concurrent backend produces bit-identical results while overlapping
 	// worker compute across cores (cmd/lcexp -parallel).
 	Backend ps.BackendKind
+
+	// Scenario replays a timeline of cluster events (congestion phases,
+	// crashes/recoveries, elastic resizes) during every cell run under this
+	// profile; nil means the paper's stationary cluster (cmd/lcexp
+	// -scenario).
+	Scenario *scenario.Scenario
 }
 
 // QuickCIFAR is the CPU-budget CIFAR-10-like cell used by tests and benches.
@@ -117,6 +124,7 @@ func cellConfig(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed u
 		LossPredHidden: p.LossPredHidden,
 		StepPredHidden: p.StepPredHidden,
 		Backend:        p.Backend,
+		Scenario:       p.Scenario,
 	}
 }
 

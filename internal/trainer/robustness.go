@@ -1,0 +1,74 @@
+package trainer
+
+import (
+	"fmt"
+
+	"lcasgd/internal/core"
+	"lcasgd/internal/ps"
+	"lcasgd/internal/report"
+	"lcasgd/internal/scenario"
+)
+
+// RobustnessAlgos are the distributed algorithms compared across cluster
+// scenarios: the paper's four plus the staleness-aware sixth, ordered from
+// fully synchronous to fully prediction-compensated.
+var RobustnessAlgos = []ps.Algo{ps.SSGD, ps.ASGD, ps.SAASGD, ps.DCASGD, ps.LCASGD}
+
+// RobustnessRow is one cell of the robustness grid: how one algorithm fared
+// under one scenario.
+type RobustnessRow struct {
+	Scenario      string
+	Algo          ps.Algo
+	FinalTestErr  float64
+	MeanStaleness float64
+	MaxStaleness  int
+	Updates       int
+	VirtualMs     float64
+	Events        int // scenario events that actually applied
+}
+
+// Robustness runs every RobustnessAlgos algorithm under every scenario at
+// the given worker count — the experiment behind the robustness table in
+// DESIGN.md. The stationary paper cluster is row zero when scns includes
+// scenario.None(), so degradation reads directly against it. The scenario
+// overrides any Profile.Scenario for these runs.
+func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario) []RobustnessRow {
+	var rows []RobustnessRow
+	for i := range scns {
+		scn := &scns[i]
+		for _, algo := range RobustnessAlgos {
+			res := RunCellCfg(p, algo, workers, core.BNAsync, seed, func(c *ps.Config) {
+				c.Scenario = scn
+			})
+			rows = append(rows, RobustnessRow{
+				Scenario:      scn.Name,
+				Algo:          algo,
+				FinalTestErr:  res.FinalTestErr,
+				MeanStaleness: res.MeanStaleness,
+				MaxStaleness:  res.MaxStaleness,
+				Updates:       res.Updates,
+				VirtualMs:     res.VirtualMs,
+				Events:        res.ScenarioEvents,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderRobustness formats the robustness grid: final error plus the
+// staleness the scenario induced, per algorithm × scenario.
+func RenderRobustness(p Profile, workers int, rows []RobustnessRow) *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Robustness (%s, M=%d): final test error and staleness per scenario", p.Name, workers),
+		"scenario", "algorithm", "test err%", "mean stale", "max stale", "updates", "vsec", "events")
+	for _, r := range rows {
+		tb.AddRow(r.Scenario, string(r.Algo),
+			report.Pct(r.FinalTestErr),
+			fmt.Sprintf("%.2f", r.MeanStaleness),
+			fmt.Sprintf("%d", r.MaxStaleness),
+			fmt.Sprintf("%d", r.Updates),
+			fmt.Sprintf("%.1f", r.VirtualMs/1000),
+			fmt.Sprintf("%d", r.Events))
+	}
+	return tb
+}

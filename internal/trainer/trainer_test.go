@@ -9,6 +9,7 @@ import (
 	"lcasgd/internal/data"
 	"lcasgd/internal/model"
 	"lcasgd/internal/ps"
+	"lcasgd/internal/scenario"
 )
 
 // tinyProfile is a fast profile for harness tests (seconds, not minutes).
@@ -161,6 +162,69 @@ func TestPredictorTraces(t *testing.T) {
 	}
 	if len(res.LossTrace) == 0 || len(res.StepTrace) == 0 {
 		t.Fatal("traces empty")
+	}
+}
+
+func TestProfileScenarioReachesEngine(t *testing.T) {
+	p := tinyProfile()
+	p.Epochs = 2
+	p.Scenario = &scenario.Scenario{
+		Name: "probe",
+		Events: []scenario.Event{
+			{At: 30, Kind: scenario.Crash, Worker: 1},
+			{At: 80, Kind: scenario.Recover, Worker: 1},
+		},
+	}
+	res := RunCell(p, ps.ASGD, 4, core.BNAsync, 1)
+	if res.ScenarioEvents != 2 {
+		t.Fatalf("profile scenario not applied: %d events", res.ScenarioEvents)
+	}
+}
+
+func TestRobustnessGrid(t *testing.T) {
+	p := tinyProfile()
+	p.Epochs = 2
+	scns := []scenario.Scenario{
+		scenario.None(),
+		{Name: "churn", Events: []scenario.Event{
+			{At: 40, Kind: scenario.Crash, Worker: 1},
+			{At: 60, Kind: scenario.PhaseShift, Worker: -1, CompScale: 2, CommScale: 2},
+			{At: 120, Kind: scenario.Recover, Worker: 1},
+		}},
+	}
+	rows := Robustness(p, 4, 1, scns)
+	if len(rows) != len(scns)*len(RobustnessAlgos) {
+		t.Fatalf("robustness rows %d, want %d", len(rows), len(scns)*len(RobustnessAlgos))
+	}
+	sawSA, sawChurnEvents := false, false
+	for _, r := range rows {
+		if r.FinalTestErr < 0 || r.FinalTestErr > 1 {
+			t.Fatalf("row %+v has invalid error", r)
+		}
+		if r.Updates <= 0 {
+			t.Fatalf("row %+v did not train", r)
+		}
+		if r.Scenario == "none" && r.Events != 0 {
+			t.Fatalf("stationary row reports %d scenario events", r.Events)
+		}
+		if r.Algo == ps.SAASGD {
+			sawSA = true
+		}
+		if r.Scenario == "churn" && r.Events > 0 {
+			sawChurnEvents = true
+		}
+	}
+	if !sawSA {
+		t.Fatal("robustness grid omits SA-ASGD")
+	}
+	if !sawChurnEvents {
+		t.Fatal("churn scenario never applied an event")
+	}
+	out := RenderRobustness(p, 4, rows).String()
+	for _, want := range []string{"SA-ASGD", "churn", "max stale"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("robustness table missing %q:\n%s", want, out)
+		}
 	}
 }
 
