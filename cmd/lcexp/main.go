@@ -23,13 +23,17 @@
 // series as CSV instead of charts; -parallel fans worker compute across
 // goroutines (bit-identical results, faster wall-clock on multi-core);
 // -scenario replays a canned cluster-event timeline (congestion windows,
-// crashes/recoveries, elastic resizes) under every experiment.
+// crashes/recoveries, elastic resizes) under every experiment;
+// -cpuprofile/-memprofile write pprof profiles of the whole run so perf
+// work can attach evidence (go tool pprof lcexp cpu.out).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lcasgd/internal/ps"
@@ -54,15 +58,48 @@ func main() {
 		parallel = flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical, multi-core)")
 		scn      = flag.String("scenario", "none",
 			fmt.Sprintf("cluster-event timeline for every run: %s", strings.Join(scenario.Names(), ", ")))
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	ids := expandExperiments(*exp)
 
+	// Validated before the profiling defers are armed: os.Exit on a bad
+	// name must not leave a truncated, unreadable profile file behind.
 	sc, err := scenario.Lookup(*scn)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lcexp: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lcexp: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lcexp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lcexp: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	cifar, imagenet := trainer.QuickCIFAR(), trainer.QuickImageNet()

@@ -43,11 +43,24 @@ type LayerStats struct {
 // CollectStats reads the most recent batch statistics from every BN layer
 // of a worker replica.
 func CollectStats(bns []*nn.BatchNorm) []LayerStats {
-	out := make([]LayerStats, len(bns))
-	for i, bn := range bns {
-		out[i] = LayerStats{Mean: bn.BatchMean(), Var: bn.BatchVar()}
+	return CollectStatsInto(nil, bns)
+}
+
+// CollectStatsInto refreshes dst in place with the most recent batch
+// statistics, allocating the per-layer slices only when dst is nil or
+// mis-shaped — the allocation-free variant of CollectStats the worker
+// replicas call once per iteration.
+func CollectStatsInto(dst []LayerStats, bns []*nn.BatchNorm) []LayerStats {
+	if len(dst) != len(bns) {
+		dst = make([]LayerStats, len(bns))
 	}
-	return out
+	for i, bn := range bns {
+		if len(dst[i].Mean) != bn.C {
+			dst[i] = LayerStats{Mean: make([]float64, bn.C), Var: make([]float64, bn.C)}
+		}
+		bn.ReadBatchStats(dst[i].Mean, dst[i].Var)
+	}
+	return dst
 }
 
 // BNAccumulator is the server-side owner of the global normalization

@@ -7,6 +7,7 @@ import (
 
 	"lcasgd/internal/nn"
 	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
 )
 
 func TestIterLogGaps(t *testing.T) {
@@ -315,5 +316,55 @@ func TestCompensationScalePropertyQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCollectStatsIntoMatchesCollectStats(t *testing.T) {
+	bn1 := nn.NewBatchNorm("a", 3, 1)
+	bn2 := nn.NewBatchNorm("b", 2, 1)
+	x1 := mkBatch(4, 3, 7)
+	x2 := mkBatch(4, 2, 8)
+	bn1.Forward(x1, true)
+	bn2.Forward(x2, true)
+	bns := []*nn.BatchNorm{bn1, bn2}
+	want := CollectStats(bns)
+	var dst []LayerStats
+	dst = CollectStatsInto(dst, bns)
+	for li := range want {
+		for c := range want[li].Mean {
+			if dst[li].Mean[c] != want[li].Mean[c] || dst[li].Var[c] != want[li].Var[c] {
+				t.Fatalf("layer %d channel %d stats differ", li, c)
+			}
+		}
+	}
+	// Refresh in place after another forward: no reallocation, new values.
+	m0 := dst[0].Mean
+	bn1.Forward(mkBatch(4, 3, 9), true)
+	dst = CollectStatsInto(dst, bns)
+	if &dst[0].Mean[0] != &m0[0] {
+		t.Fatal("CollectStatsInto reallocated a matching destination")
+	}
+	fresh := CollectStats(bns)
+	if dst[0].Mean[0] != fresh[0].Mean[0] {
+		t.Fatal("CollectStatsInto did not refresh values")
+	}
+}
+
+func mkBatch(n, c int, seed uint64) *tensor.Tensor {
+	x := tensor.New(n, c)
+	rng.New(seed).FillNormal(x.Data, 1)
+	return x
+}
+
+// TestPredictorSteadyStateAllocs pins the per-iteration predictor calls:
+// PredictDelay and the step predictor's forecast path allocate nothing in
+// steady state (the observation paths only pay the amortized trace append).
+func TestPredictorSteadyStateAllocs(t *testing.T) {
+	lp := NewLossPredictorSized(8, rng.New(40))
+	for i := 0; i < 20; i++ {
+		lp.Observe(1.0 / float64(i+1))
+	}
+	if a := testing.AllocsPerRun(20, func() { lp.PredictDelay(0.05, 5) }); a != 0 {
+		t.Fatalf("steady-state PredictDelay allocates %v times, want 0", a)
 	}
 }

@@ -25,6 +25,12 @@ type LossPredictor struct {
 	lastLoss float64
 	seeded   bool
 
+	// Reused buffers: the 1-wide LSTM input and the PredictAhead feedback
+	// closure (bound once so the per-iteration calls allocate nothing).
+	in       []float64
+	fb       []float64
+	feedback func(float64) []float64
+
 	trace     []TracePoint
 	nextPred  float64
 	iteration int
@@ -48,7 +54,12 @@ func NewLossPredictorSized(hidden int, g *rng.RNG) *LossPredictor {
 	n := lstm.NewNetwork(1, []int{hidden, hidden}, g)
 	n.LR = 0.2
 	n.Window = 12
-	return &LossPredictor{net: n}
+	p := &LossPredictor{net: n, in: make([]float64, 1), fb: make([]float64, 1)}
+	p.feedback = func(o float64) []float64 {
+		p.fb[0] = o
+		return p.fb
+	}
+	return p
 }
 
 // Observe implements Algorithm 3 line 1: the previous loss ℓ_t is the input
@@ -62,7 +73,8 @@ func (p *LossPredictor) Observe(lossM float64) {
 	}()
 	if p.seeded {
 		p.trace = append(p.trace, TracePoint{Iteration: p.iteration, Actual: lossM, Predicted: p.nextPred})
-		p.net.TrainStep([]float64{p.lastLoss}, lossM)
+		p.in[0] = p.lastLoss
+		p.net.TrainStep(p.in, lossM) // TrainStep copies the input into its window
 	} else {
 		p.seeded = true
 		p.nextPred = lossM
@@ -70,7 +82,8 @@ func (p *LossPredictor) Observe(lossM float64) {
 	p.iteration++
 	p.lastLoss = lossM
 	// Pre-compute the one-step forecast so the next Observe can log it.
-	p.nextPred = p.net.Predict([]float64{lossM})
+	p.in[0] = lossM
+	p.nextPred = p.net.Predict(p.in)
 }
 
 // PredictDelay implements Algorithm 3 lines 2–3 and Formula 9: roll the
@@ -82,9 +95,8 @@ func (p *LossPredictor) PredictDelay(lossM float64, k int) float64 {
 	}
 	start := time.Now()
 	defer func() { p.PredictTime += time.Since(start) }()
-	preds := p.net.PredictAhead([]float64{lossM}, k, func(o float64) []float64 {
-		return []float64{o}
-	})
+	p.in[0] = lossM
+	preds := p.net.PredictAhead(p.in, k, p.feedback)
 	sum := 0.0
 	for _, v := range preds {
 		// A loss forecast below zero is an artifact of the linear head;

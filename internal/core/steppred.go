@@ -19,8 +19,12 @@ type StepPredictor struct {
 	workers int
 
 	// Per-worker last feature vector, used as the training input when the
-	// realized staleness label arrives (Algorithm 4 line 2).
+	// realized staleness label arrives (Algorithm 4 line 2). Each worker's
+	// slice is allocated once and overwritten in place thereafter.
 	lastFeat map[int][]float64
+	// feat is the reused scratch the current iteration's features are
+	// assembled in before being copied into lastFeat.
+	feat []float64
 	// Running scale estimates for normalizing the time features.
 	commScale, compScale float64
 
@@ -47,6 +51,7 @@ func NewStepPredictorSized(workers, hidden int, g *rng.RNG) *StepPredictor {
 		net:       n,
 		workers:   workers,
 		lastFeat:  make(map[int][]float64),
+		feat:      make([]float64, 3),
 		commScale: 1, compScale: 1,
 	}
 }
@@ -54,6 +59,7 @@ func NewStepPredictorSized(workers, hidden int, g *rng.RNG) *StepPredictor {
 // features normalizes (step, tcomm, tcomp) into the LSTM's input space:
 // staleness is scaled by the worker count, times by running magnitude
 // estimates so the network sees O(1) values regardless of cost-model units.
+// The result lands in the reused p.feat scratch.
 func (p *StepPredictor) features(step float64, tcomm, tcomp float64) []float64 {
 	// Update running scales with a slow EMA.
 	const a = 0.05
@@ -63,11 +69,10 @@ func (p *StepPredictor) features(step float64, tcomm, tcomp float64) []float64 {
 	if tcomp > 0 {
 		p.compScale = (1-a)*p.compScale + a*tcomp
 	}
-	return []float64{
-		step / float64(p.workers),
-		tcomm / math.Max(p.commScale, 1e-9),
-		tcomp / math.Max(p.compScale, 1e-9),
-	}
+	p.feat[0] = step / float64(p.workers)
+	p.feat[1] = tcomm / math.Max(p.commScale, 1e-9)
+	p.feat[2] = tcomp / math.Max(p.compScale, 1e-9)
+	return p.feat
 }
 
 // ObserveAndPredict implements Algorithm 4: the realized staleness for
@@ -84,9 +89,16 @@ func (p *StepPredictor) ObserveAndPredict(m int, observedStep int, tcomm, tcomp 
 	}()
 	feat := p.features(float64(observedStep), tcomm, tcomp)
 	if prev, ok := p.lastFeat[m]; ok && observedStep >= 0 {
+		// TrainStep copies prev into its window, so the per-worker buffer
+		// can be overwritten right after.
 		p.net.TrainStep(prev, float64(observedStep)/float64(p.workers))
 	}
-	p.lastFeat[m] = feat
+	buf, ok := p.lastFeat[m]
+	if !ok {
+		buf = make([]float64, len(feat))
+		p.lastFeat[m] = buf
+	}
+	copy(buf, feat)
 	if observedStep < 0 {
 		return p.workers - 1
 	}

@@ -32,9 +32,20 @@ func (d *Dataset) Len() int { return len(d.Y) }
 
 // Batch gathers the samples at idx into fresh tensors.
 func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
-	f := d.Features()
-	x := tensor.New(len(idx), f)
+	x := tensor.New(len(idx), d.Features())
 	y := make([]int, len(idx))
+	d.BatchInto(x, y, idx)
+	return x, y
+}
+
+// BatchInto gathers the samples at idx into the caller-provided x (shape
+// [len(idx), Features()]) and y (len(idx)) — the allocation-free batching
+// the worker replicas and evaluation shards reuse their buffers through.
+func (d *Dataset) BatchInto(x *tensor.Tensor, y []int, idx []int) {
+	f := d.Features()
+	if x.Rank() != 2 || x.Shape[0] != len(idx) || x.Shape[1] != f || len(y) != len(idx) {
+		panic(fmt.Sprintf("data: BatchInto x%v y[%d] for %d indices of width %d", x.Shape, len(y), len(idx), f))
+	}
 	for i, j := range idx {
 		if j < 0 || j >= d.Len() {
 			panic(fmt.Sprintf("data: batch index %d out of range [0,%d)", j, d.Len()))
@@ -42,7 +53,6 @@ func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
 		copy(x.Data[i*f:(i+1)*f], d.X.Data[j*f:(j+1)*f])
 		y[i] = d.Y[j]
 	}
-	return x, y
 }
 
 // Config parameterizes a synthetic dataset.
@@ -192,6 +202,16 @@ func NewBatchIter(ds *Dataset, size int, g *rng.RNG) *BatchIter {
 
 // Next returns the next mini-batch, reshuffling when the epoch wraps.
 func (it *BatchIter) Next() (*tensor.Tensor, []int) {
+	x := tensor.New(it.size, it.ds.Features())
+	y := make([]int, it.size)
+	it.NextInto(x, y)
+	return x, y
+}
+
+// NextInto fills the caller-provided buffers with the next mini-batch,
+// reshuffling when the epoch wraps. x must have shape [size, Features()]
+// and y length size; steady-state iteration allocates nothing.
+func (it *BatchIter) NextInto(x *tensor.Tensor, y []int) {
 	if it.pos+it.size > len(it.order) {
 		it.g.Shuffle(it.order)
 		it.pos = 0
@@ -199,7 +219,7 @@ func (it *BatchIter) Next() (*tensor.Tensor, []int) {
 	}
 	idx := it.order[it.pos : it.pos+it.size]
 	it.pos += it.size
-	return it.ds.Batch(idx)
+	it.ds.BatchInto(x, y, idx)
 }
 
 // BatchesPerEpoch returns how many batches one pass over the data yields.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
 )
 
 func TestGenerateShapes(t *testing.T) {
@@ -196,4 +197,54 @@ func TestGenerateDegeneratePanics(t *testing.T) {
 		}
 	}()
 	Generate(cfg)
+}
+
+func TestBatchIntoMatchesBatch(t *testing.T) {
+	tr, _ := Generate(Config{
+		Classes: 3, C: 1, H: 4, W: 4, Train: 30, Test: 6,
+		NoiseSigma: 1, SignalScale: 0.5, Smoothing: 1, Seed: 5,
+	})
+	idx := []int{3, 0, 17, 17, 9}
+	wantX, wantY := tr.Batch(idx)
+	x := tensor.New(len(idx), tr.Features())
+	y := make([]int, len(idx))
+	tr.BatchInto(x, y, idx)
+	for i := range wantX.Data {
+		if x.Data[i] != wantX.Data[i] {
+			t.Fatalf("BatchInto x[%d] differs", i)
+		}
+	}
+	for i := range wantY {
+		if y[i] != wantY[i] {
+			t.Fatalf("BatchInto y[%d] differs", i)
+		}
+	}
+}
+
+func TestBatchIntoShapePanics(t *testing.T) {
+	tr, _ := Generate(Config{
+		Classes: 3, C: 1, H: 4, W: 4, Train: 30, Test: 6,
+		NoiseSigma: 1, SignalScale: 0.5, Smoothing: 1, Seed: 5,
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mis-shaped destination")
+		}
+	}()
+	tr.BatchInto(tensor.New(2, tr.Features()), make([]int, 3), []int{0, 1, 2})
+}
+
+func TestNextIntoZeroAllocSteadyState(t *testing.T) {
+	tr, _ := Generate(Config{
+		Classes: 3, C: 1, H: 4, W: 4, Train: 30, Test: 6,
+		NoiseSigma: 1, SignalScale: 0.5, Smoothing: 1, Seed: 5,
+	})
+	it := NewBatchIter(tr, 10, rng.New(1))
+	x := tensor.New(10, tr.Features())
+	y := make([]int, 10)
+	it.NextInto(x, y)
+	// Spans epoch wraps: the in-place reshuffle must not allocate either.
+	if a := testing.AllocsPerRun(20, func() { it.NextInto(x, y) }); a != 0 {
+		t.Fatalf("steady-state NextInto allocates %v times, want 0", a)
+	}
 }

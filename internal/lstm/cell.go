@@ -4,6 +4,14 @@
 // (Algorithm 3) and the step predictor (Algorithm 4), both of which the
 // paper describes as "two LSTM layers in the front of the network and a
 // linear layer at the end", trained online on the parameter server.
+//
+// The package is built for the zero-allocation hot path: a Network owns
+// every buffer its train/predict calls need (step caches, recurrent
+// states, BPTT scratch, the sliding window itself), so steady-state
+// TrainStep/Predict/PredictAhead calls perform no heap allocations. This
+// matters doubly here: the predictors run on the parameter server once per
+// worker iteration, and their REAL measured wall time is a paper artifact
+// (Tables 2–3) that allocation noise would distort.
 package lstm
 
 import (
@@ -28,6 +36,9 @@ type Cell struct {
 	X, H         int
 	Wx, Wh, B    []float64
 	dWx, dWh, dB []float64
+
+	pre  []float64 // [4H] pre-activation scratch, reused every Step
+	dAct []float64 // [4H] gate-gradient scratch, reused every Backward
 }
 
 // NewCell allocates a cell with Xavier-scaled weights and the forget-gate
@@ -35,12 +46,14 @@ type Cell struct {
 func NewCell(x, h int, g *rng.RNG) *Cell {
 	c := &Cell{
 		X: x, H: h,
-		Wx:  make([]float64, numGates*h*x),
-		Wh:  make([]float64, numGates*h*h),
-		B:   make([]float64, numGates*h),
-		dWx: make([]float64, numGates*h*x),
-		dWh: make([]float64, numGates*h*h),
-		dB:  make([]float64, numGates*h),
+		Wx:   make([]float64, numGates*h*x),
+		Wh:   make([]float64, numGates*h*h),
+		B:    make([]float64, numGates*h),
+		dWx:  make([]float64, numGates*h*x),
+		dWh:  make([]float64, numGates*h*h),
+		dB:   make([]float64, numGates*h),
+		pre:  make([]float64, numGates*h),
+		dAct: make([]float64, numGates*h),
 	}
 	g.FillNormal(c.Wx, math.Sqrt(1/float64(x+h)))
 	g.FillNormal(c.Wh, math.Sqrt(1/float64(x+h)))
@@ -63,64 +76,87 @@ func (s State) Clone() State {
 	return State{H: append([]float64(nil), s.H...), C: append([]float64(nil), s.C...)}
 }
 
+// Zero resets the state in place.
+func (s State) Zero() {
+	zero(s.H)
+	zero(s.C)
+}
+
 // stepCache records everything the backward pass needs for one timestep.
+// All slices are cache-owned copies so the recurrent state can be updated
+// in place between steps.
 type stepCache struct {
 	x, hPrev, cPrev []float64
 	i, f, g, o      []float64 // post-activation gate values
 	c, tanhC        []float64
 }
 
+// newStepCache allocates one cache slot for a cell of input size x and
+// hidden size h.
+func newStepCache(x, h int) *stepCache {
+	return &stepCache{
+		x: make([]float64, x), hPrev: make([]float64, h), cPrev: make([]float64, h),
+		i: make([]float64, h), f: make([]float64, h), g: make([]float64, h), o: make([]float64, h),
+		c: make([]float64, h), tanhC: make([]float64, h),
+	}
+}
+
 func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 
-// Forward advances the cell one timestep, returning the new state and the
-// cache required by Backward.
-func (c *Cell) Forward(x []float64, prev State) (State, *stepCache) {
+// Step advances the cell one timestep, updating s in place. When cache is
+// non-nil it records everything Backward needs (including copies of the
+// input and incoming state, so in-place state reuse is safe). Passing a nil
+// cache is the prediction-only fast path.
+func (c *Cell) Step(x []float64, s State, cache *stepCache) {
 	if len(x) != c.X {
 		panic(fmt.Sprintf("lstm: input size %d, want %d", len(x), c.X))
 	}
 	h := c.H
-	pre := make([]float64, numGates*h)
+	pre := c.pre
 	copy(pre, c.B)
 	for r := 0; r < numGates*h; r++ {
 		rowX := c.Wx[r*c.X : (r+1)*c.X]
-		s := 0.0
+		sum := 0.0
 		for j, xv := range x {
-			s += rowX[j] * xv
+			sum += rowX[j] * xv
 		}
 		rowH := c.Wh[r*h : (r+1)*h]
-		for j, hv := range prev.H {
-			s += rowH[j] * hv
+		for j, hv := range s.H {
+			sum += rowH[j] * hv
 		}
-		pre[r] += s
+		pre[r] += sum
 	}
-	cache := &stepCache{
-		x: append([]float64(nil), x...), hPrev: prev.H, cPrev: prev.C,
-		i: make([]float64, h), f: make([]float64, h), g: make([]float64, h), o: make([]float64, h),
-		c: make([]float64, h), tanhC: make([]float64, h),
+	if cache != nil {
+		copy(cache.x, x)
+		copy(cache.hPrev, s.H)
+		copy(cache.cPrev, s.C)
 	}
-	next := NewState(h)
 	for j := 0; j < h; j++ {
 		iv := sigmoid(pre[gateI*h+j])
 		fv := sigmoid(pre[gateF*h+j])
 		gv := math.Tanh(pre[gateG*h+j])
 		ov := sigmoid(pre[gateO*h+j])
-		cv := fv*prev.C[j] + iv*gv
+		cv := fv*s.C[j] + iv*gv
 		tc := math.Tanh(cv)
-		cache.i[j], cache.f[j], cache.g[j], cache.o[j] = iv, fv, gv, ov
-		cache.c[j], cache.tanhC[j] = cv, tc
-		next.C[j] = cv
-		next.H[j] = ov * tc
+		if cache != nil {
+			cache.i[j], cache.f[j], cache.g[j], cache.o[j] = iv, fv, gv, ov
+			cache.c[j], cache.tanhC[j] = cv, tc
+		}
+		s.C[j] = cv
+		s.H[j] = ov * tc
 	}
-	return next, cache
 }
 
 // Backward consumes dh/dc for this timestep's outputs and the cache from
-// Forward; it accumulates parameter gradients and returns (dx, dhPrev,
-// dcPrev).
-func (c *Cell) Backward(dh, dc []float64, cache *stepCache) (dx, dhPrev, dcPrev []float64) {
+// Step; it accumulates parameter gradients and writes the input gradient
+// into dx and the through-time gradients into dhPrev/dcPrev (all
+// caller-owned, sized X/H/H). dx and dhPrev are zeroed here before
+// accumulation; dcPrev is fully assigned and MAY alias dc (each element is
+// read before its aliased slot is written). dx and dhPrev must not alias
+// dh or dc.
+func (c *Cell) Backward(dh, dc []float64, cache *stepCache, dx, dhPrev, dcPrev []float64) {
 	h := c.H
-	dAct := make([]float64, numGates*h)
-	dcPrev = make([]float64, h)
+	dAct := c.dAct
 	for j := 0; j < h; j++ {
 		o, tc := cache.o[j], cache.tanhC[j]
 		dct := dc[j] + dh[j]*o*(1-tc*tc)
@@ -134,8 +170,8 @@ func (c *Cell) Backward(dh, dc []float64, cache *stepCache) (dx, dhPrev, dcPrev 
 		dAct[gateG*h+j] = dg * (1 - cache.g[j]*cache.g[j])
 		dAct[gateO*h+j] = do * o * (1 - o)
 	}
-	dx = make([]float64, c.X)
-	dhPrev = make([]float64, h)
+	zero(dx)
+	zero(dhPrev)
 	for r := 0; r < numGates*h; r++ {
 		da := dAct[r]
 		if da == 0 {
@@ -155,7 +191,6 @@ func (c *Cell) Backward(dh, dc []float64, cache *stepCache) (dx, dhPrev, dcPrev 
 			dhPrev[j] += da * rowH[j]
 		}
 	}
-	return dx, dhPrev, dcPrev
 }
 
 // ZeroGrad clears the accumulated gradients.

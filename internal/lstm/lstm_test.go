@@ -8,9 +8,11 @@ import (
 )
 
 // cellLoss runs one forward step and returns Σh + Σc, the scalar whose
-// parameter gradient the finite-difference tests verify.
+// parameter gradient the finite-difference tests verify. Step updates the
+// state in place, so it runs on a scratch copy of prev.
 func cellLoss(c *Cell, x []float64, prev State) float64 {
-	next, _ := c.Forward(x, prev)
+	next := prev.Clone()
+	c.Step(x, next, nil)
 	s := 0.0
 	for _, v := range next.H {
 		s += v
@@ -29,10 +31,15 @@ func TestCellBackwardMatchesFiniteDiff(t *testing.T) {
 	g.FillNormal(prev.H, 0.5)
 	g.FillNormal(prev.C, 0.5)
 
-	_, cache := c.Forward(x, prev)
+	scratch := prev.Clone()
+	cache := newStepCache(3, 4)
+	c.Step(x, scratch, cache)
 	c.ZeroGrad()
 	ones := []float64{1, 1, 1, 1}
-	dx, dhPrev, dcPrev := c.Backward(ones, ones, cache)
+	dx := make([]float64, 3)
+	dhPrev := make([]float64, 4)
+	dcPrev := make([]float64, 4)
+	c.Backward(ones, ones, cache, dx, dhPrev, dcPrev)
 
 	const eps = 1e-6
 	check := func(name string, w []float64, dw []float64) {
@@ -111,7 +118,7 @@ func TestCellInputSizePanic(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	c.Forward([]float64{1}, NewState(3))
+	c.Step([]float64{1}, NewState(3), nil)
 }
 
 func TestNetworkLearnsConstant(t *testing.T) {
@@ -243,6 +250,33 @@ func TestTrainingIsDeterministic(t *testing.T) {
 	pa, pb := a.Predict([]float64{2}), b.Predict([]float64{2})
 	if pa != pb {
 		t.Fatalf("identical seeds diverged: %v vs %v", pa, pb)
+	}
+}
+
+// TestTrainPredictZeroAllocSteadyState pins the predictor substrate's hot
+// calls — online TrainStep, Predict and PredictAhead — to zero heap
+// allocations once the window and scratch buffers are warm. These run on
+// the parameter server once per worker iteration, and their REAL measured
+// wall times feed Tables 2–3, so allocation noise here distorts a paper
+// artifact.
+func TestTrainPredictZeroAllocSteadyState(t *testing.T) {
+	n := NewNetwork(1, []int{16, 16}, rng.New(30))
+	in := []float64{0.5}
+	fb := []float64{0}
+	feedback := func(o float64) []float64 { fb[0] = o; return fb }
+	for i := 0; i < 20; i++ { // fill the window, warm every scratch buffer
+		n.TrainStep(in, 0.4)
+		n.Predict(in)
+		n.PredictAhead(in, 5, feedback)
+	}
+	if a := testing.AllocsPerRun(20, func() { n.TrainStep(in, 0.4) }); a != 0 {
+		t.Fatalf("steady-state TrainStep allocates %v times, want 0", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { n.Predict(in) }); a != 0 {
+		t.Fatalf("steady-state Predict allocates %v times, want 0", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { n.PredictAhead(in, 5, feedback) }); a != 0 {
+		t.Fatalf("steady-state PredictAhead allocates %v times, want 0", a)
 	}
 }
 

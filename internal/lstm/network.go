@@ -11,6 +11,11 @@ import (
 // a linear layer at the end", Sections 4.3–4.4). It trains online: every
 // observed (input, target) pair is appended to a sliding window, and each
 // TrainStep runs truncated BPTT over the window.
+//
+// All working storage — the window, recurrent states, per-timestep caches
+// and BPTT scratch — is owned by the Network and reused, so steady-state
+// TrainStep/Predict/PredictAhead calls are allocation-free. Set Window
+// before the first Observe/TrainStep.
 type Network struct {
 	Cells  []*Cell
 	HeadW  []float64 // [H of last cell]
@@ -22,8 +27,22 @@ type Network struct {
 	LR     float64
 	Clip   float64
 
-	inputs  [][]float64
+	// Sliding window: rows[0:count] in oldest-first order. Rows are
+	// allocated once and recycled when the window slides.
+	rows    [][]float64
 	targets []float64
+	count   int
+
+	// Reused compute workspaces (see ensureScratch).
+	states []State        // one recurrent state per layer, updated in place
+	caches [][]*stepCache // [layer][timestep], grown on demand
+	outs   []float64      // per-step head outputs of the last forward
+	dOuts  []float64
+	dhTop  []float64   // head gradient entering the top layer at step t
+	hTop   []float64   // recomputed top hidden vector (o ⊙ tanh c)
+	dh, dc [][]float64 // per-layer through-time gradients
+	dx     [][]float64 // per-layer input gradients
+	ahead  []float64   // PredictAhead output buffer (reused across calls)
 }
 
 // NewNetwork builds a stack with the given input size and hidden sizes
@@ -42,6 +61,19 @@ func NewNetwork(inputSize int, hidden []int, g *rng.RNG) *Network {
 	n.HeadW = make([]float64, last)
 	n.dHeadW = make([]float64, last)
 	g.FillNormal(n.HeadW, 0.1)
+	n.states = make([]State, len(n.Cells))
+	n.caches = make([][]*stepCache, len(n.Cells))
+	n.dh = make([][]float64, len(n.Cells))
+	n.dc = make([][]float64, len(n.Cells))
+	n.dx = make([][]float64, len(n.Cells))
+	for li, c := range n.Cells {
+		n.states[li] = NewState(c.H)
+		n.dh[li] = make([]float64, c.H)
+		n.dc[li] = make([]float64, c.H)
+		n.dx[li] = make([]float64, c.X)
+	}
+	n.dhTop = make([]float64, last)
+	n.hTop = make([]float64, last)
 	return n
 }
 
@@ -57,26 +89,52 @@ func (n *Network) head(h []float64) float64 {
 	return s
 }
 
-// forwardSeq runs the whole stack over a sequence from zero state,
-// returning per-step outputs, per-(layer,step) caches, and final states.
-func (n *Network) forwardSeq(seq [][]float64) (outs []float64, caches [][]*stepCache, finals []State) {
-	states := make([]State, len(n.Cells))
-	for i, c := range n.Cells {
-		states[i] = NewState(c.H)
+// cacheFor returns the (layer, timestep) cache slot, growing the pool on
+// first use of a new timestep index.
+func (n *Network) cacheFor(li, t int) *stepCache {
+	for len(n.caches[li]) <= t {
+		n.caches[li] = append(n.caches[li], newStepCache(n.Cells[li].X, n.Cells[li].H))
 	}
-	caches = make([][]*stepCache, len(n.Cells))
-	outs = make([]float64, len(seq))
-	for t, x := range seq {
-		cur := x
+	return n.caches[li][t]
+}
+
+// outsFor returns the reused head-output buffer resized to T steps.
+func (n *Network) outsFor(T int) []float64 {
+	if cap(n.outs) < T {
+		n.outs = make([]float64, T)
+	}
+	n.outs = n.outs[:T]
+	return n.outs
+}
+
+// forwardWindow runs the stack from zero state over the window rows plus an
+// optional extra final input, writing per-step head outputs into the reused
+// outs buffer. withCache records the step caches BPTT needs.
+func (n *Network) forwardWindow(extra []float64, withCache bool) []float64 {
+	T := n.count
+	if extra != nil {
+		T++
+	}
+	for li := range n.states {
+		n.states[li].Zero()
+	}
+	outs := n.outsFor(T)
+	for t := 0; t < T; t++ {
+		cur := extra
+		if t < n.count {
+			cur = n.rows[t]
+		}
 		for li, cell := range n.Cells {
 			var cache *stepCache
-			states[li], cache = cell.Forward(cur, states[li])
-			caches[li] = append(caches[li], cache)
-			cur = states[li].H
+			if withCache {
+				cache = n.cacheFor(li, t)
+			}
+			cell.Step(cur, n.states[li], cache)
+			cur = n.states[li].H
 		}
 		outs[t] = n.head(cur)
 	}
-	return outs, caches, states
+	return outs
 }
 
 // Observe appends an (input, target) pair to the training window without
@@ -85,12 +143,36 @@ func (n *Network) Observe(input []float64, target float64) {
 	if len(input) != n.InputSize() {
 		panic(fmt.Sprintf("lstm: input width %d, want %d", len(input), n.InputSize()))
 	}
-	n.inputs = append(n.inputs, append([]float64(nil), input...))
-	n.targets = append(n.targets, target)
-	if len(n.inputs) > n.Window {
-		n.inputs = n.inputs[1:]
-		n.targets = n.targets[1:]
+	if n.Window <= 0 {
+		return // degenerate: nothing can be retained
 	}
+	for n.count > n.Window { // Window was shrunk after observations
+		n.slide()
+		n.count--
+	}
+	if n.count == n.Window {
+		// Slide: recycle the oldest row as the newest.
+		n.slide()
+		copy(n.rows[n.count-1], input)
+		n.targets[n.count-1] = target
+		return
+	}
+	if n.count == len(n.rows) {
+		n.rows = append(n.rows, make([]float64, len(input)))
+		n.targets = append(n.targets, 0)
+	}
+	copy(n.rows[n.count], input)
+	n.targets[n.count] = target
+	n.count++
+}
+
+// slide rotates the oldest row to the end of the window (its contents are
+// dead; the caller overwrites or drops it).
+func (n *Network) slide() {
+	first := n.rows[0]
+	copy(n.rows[:n.count-1], n.rows[1:n.count])
+	copy(n.targets[:n.count-1], n.targets[1:n.count])
+	n.rows[n.count-1] = first
 }
 
 // TrainStep performs one online update: the pair is appended to the window
@@ -103,13 +185,16 @@ func (n *Network) TrainStep(input []float64, target float64) float64 {
 
 // fitWindow runs forward+backward over the current window and applies SGD.
 func (n *Network) fitWindow() float64 {
-	T := len(n.inputs)
+	T := n.count
 	if T == 0 {
 		return 0
 	}
-	outs, caches, _ := n.forwardSeq(n.inputs)
+	outs := n.forwardWindow(nil, true)
 	loss := 0.0
-	dOuts := make([]float64, T)
+	if cap(n.dOuts) < T {
+		n.dOuts = make([]float64, T)
+	}
+	dOuts := n.dOuts[:T]
 	for t := 0; t < T; t++ {
 		d := outs[t] - n.targets[t]
 		loss += d * d
@@ -124,41 +209,46 @@ func (n *Network) fitWindow() float64 {
 	n.dHeadB = 0
 
 	L := len(n.Cells)
-	// dh/dc flowing backward through time, one per layer.
-	dhNext := make([][]float64, L)
-	dcNext := make([][]float64, L)
-	for li, c := range n.Cells {
-		dhNext[li] = make([]float64, c.H)
-		dcNext[li] = make([]float64, c.H)
+	// dh/dc flowing backward through time, one per layer. Each layer's
+	// buffer is consumed at step t (merged into the gradient from above)
+	// just before its Backward overwrites it with the step-t-1 value.
+	for li := range n.Cells {
+		zero(n.dh[li])
+		zero(n.dc[li])
 	}
 	for t := T - 1; t >= 0; t-- {
 		// Head gradient at step t enters the top layer's dh.
 		top := L - 1
-		hTop := caches[top][t]
-		dhTop := make([]float64, n.Cells[top].H)
-		copy(dhTop, dhNext[top])
+		hTop := n.caches[top][t]
+		dhTop := n.dhTop
+		copy(dhTop, n.dh[top])
 		g := dOuts[t]
 		n.dHeadB += g
-		topH := hTopHidden(hTop)
+		topH := n.hTop
+		for j := range topH {
+			// Recompute o ⊙ tanh(c) from the cache instead of storing the
+			// hidden vector twice.
+			topH[j] = hTop.o[j] * hTop.tanhC[j]
+		}
 		for j := range n.HeadW {
 			n.dHeadW[j] += g * topH[j]
 			dhTop[j] += g * n.HeadW[j]
 		}
 		dh := dhTop
-		dc := dcNext[top]
+		dc := n.dc[top]
 		for li := L - 1; li >= 0; li-- {
 			if li < L-1 {
 				// Lower layers receive dx from the layer above plus
 				// their own through-time gradient.
 				for j := range dh {
-					dh[j] += dhNext[li][j]
+					dh[j] += n.dh[li][j]
 				}
-				dc = dcNext[li]
+				dc = n.dc[li]
 			}
-			dx, dhPrev, dcPrev := n.Cells[li].Backward(dh, dc, caches[li][t])
-			dhNext[li] = dhPrev
-			dcNext[li] = dcPrev
-			dh = dx
+			// dcPrev aliasing dc is safe (see Cell.Backward); dhPrev lands in
+			// n.dh[li], which was read above before this overwrite.
+			n.Cells[li].Backward(dh, dc, n.caches[li][t], n.dx[li], n.dh[li], n.dc[li])
+			dh = n.dx[li]
 		}
 	}
 	for _, c := range n.Cells {
@@ -175,21 +265,10 @@ func (n *Network) fitWindow() float64 {
 	return loss
 }
 
-// hTopHidden recovers the hidden vector produced by a cached step: it is
-// o ⊙ tanh(c), recomputed from the cache to avoid storing it twice.
-func hTopHidden(c *stepCache) []float64 {
-	h := make([]float64, len(c.o))
-	for j := range h {
-		h[j] = c.o[j] * c.tanhC[j]
-	}
-	return h
-}
-
 // Predict returns the one-step-ahead output after replaying the window and
 // feeding the given input.
 func (n *Network) Predict(input []float64) float64 {
-	seq := append(append([][]float64(nil), n.inputs...), input)
-	outs, _, _ := n.forwardSeq(seq)
+	outs := n.forwardWindow(input, false)
 	return outs[len(outs)-1]
 }
 
@@ -197,34 +276,38 @@ func (n *Network) Predict(input []float64) float64 {
 // then recursively feeds each prediction back through feedback (which maps
 // a scalar prediction to the next input vector) for a total of k outputs.
 // This is exactly Algorithm 3's "forward-propagating goes on k iterations".
+// The returned slice is a reused buffer, valid until the next PredictAhead
+// call.
 func (n *Network) PredictAhead(input []float64, k int, feedback func(out float64) []float64) []float64 {
 	if k <= 0 {
 		return nil
 	}
-	states := make([]State, len(n.Cells))
-	for i, c := range n.Cells {
-		states[i] = NewState(c.H)
+	for li := range n.states {
+		n.states[li].Zero()
 	}
 	run := func(x []float64) float64 {
 		cur := x
 		for li, cell := range n.Cells {
-			states[li], _ = cell.Forward(cur, states[li])
-			cur = states[li].H
+			cell.Step(cur, n.states[li], nil)
+			cur = n.states[li].H
 		}
 		return n.head(cur)
 	}
-	for _, x := range n.inputs {
-		run(x)
+	for t := 0; t < n.count; t++ {
+		run(n.rows[t])
 	}
-	outs := make([]float64, 0, k)
+	if cap(n.ahead) < k {
+		n.ahead = make([]float64, k)
+	}
+	outs := n.ahead[:k]
 	out := run(input)
-	outs = append(outs, out)
-	for len(outs) < k {
+	outs[0] = out
+	for i := 1; i < k; i++ {
 		out = run(feedback(out))
-		outs = append(outs, out)
+		outs[i] = out
 	}
 	return outs
 }
 
 // WindowLen returns the number of pairs currently in the training window.
-func (n *Network) WindowLen() int { return len(n.inputs) }
+func (n *Network) WindowLen() int { return n.count }

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"testing"
+
+	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
+)
+
+// convTestNet builds a net covering the whole layer zoo: conv, BN (dense
+// and spatial), residual (identity and projection), max/avg pooling, ReLU,
+// dense.
+func convTestNet(g *rng.RNG) *Sequential {
+	geom := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D("c0", geom, 4, g)
+	path := NewSequential(
+		NewConv2D("r.c", tensor.ConvGeom{InC: 4, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}, 4, g),
+		NewBatchNorm("r.bn", 4, 16),
+	)
+	short := NewSequential(NewBatchNorm("r.s", 4, 16))
+	return NewSequential(
+		conv,
+		NewBatchNorm("bn0", 4, 64),
+		NewReLU(256),
+		NewMaxPool2D(4, 8, 8, 2),
+		NewResidual(path, short),
+		NewGlobalAvgPool(4, 16),
+		NewDense("fc", 4, 3, g),
+	)
+}
+
+// TestForwardBackwardZeroAllocSteadyState pins the whole-layer-zoo training
+// iteration (forward + loss + backward + ZeroGrad) to zero heap allocations
+// once the per-layer buffers are warm — the regression guard for the
+// zero-allocation hot path.
+func TestForwardBackwardZeroAllocSteadyState(t *testing.T) {
+	g := rng.New(21)
+	net := convTestNet(g)
+	x := tensor.New(6, 64)
+	g.FillNormal(x.Data, 1)
+	labels := []int{0, 1, 2, 0, 1, 2}
+	var ce SoftmaxCrossEntropy
+	iter := func() {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		ce.Forward(out, labels)
+		net.Backward(ce.Backward(1))
+	}
+	iter() // warm the buffers (first iteration allocates them)
+	if allocs := testing.AllocsPerRun(20, iter); allocs != 0 {
+		t.Fatalf("steady-state forward/backward allocates %v times per iteration, want 0", allocs)
+	}
+}
+
+// TestInferenceZeroAllocSteadyState pins the evaluation-mode forward pass
+// (the eval-shard hot loop) to zero allocations.
+func TestInferenceZeroAllocSteadyState(t *testing.T) {
+	g := rng.New(22)
+	net := convTestNet(g)
+	x := tensor.New(6, 64)
+	g.FillNormal(x.Data, 1)
+	pred := make([]int, 6)
+	iter := func() {
+		out := net.Forward(x, false)
+		tensor.ArgmaxRowsInto(pred, out)
+	}
+	iter()
+	if allocs := testing.AllocsPerRun(20, iter); allocs != 0 {
+		t.Fatalf("steady-state inference allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestBackwardDoesNotCorruptForwardActivations proves the aliasing
+// discipline of the reuse scheme: the activations every layer produced
+// during Forward must be bit-identical before and after the full Backward
+// pass, because output buffers and gradient buffers are distinct.
+func TestBackwardDoesNotCorruptForwardActivations(t *testing.T) {
+	g := rng.New(23)
+	net := convTestNet(g)
+	x := tensor.New(4, 64)
+	g.FillNormal(x.Data, 1)
+	labels := []int{0, 1, 2, 0}
+	var ce SoftmaxCrossEntropy
+
+	// Warm the buffers so the recorded activations ARE the reused buffers.
+	out := net.Forward(x, true)
+	ce.Forward(out, labels)
+	net.Backward(ce.Backward(1))
+	net.ZeroGrad()
+
+	// Re-run forward, capturing each layer's live output buffer + a copy.
+	var live []*tensor.Tensor
+	var snap []*tensor.Tensor
+	cur := x
+	for _, l := range net.Layers {
+		cur = l.Forward(cur, true)
+		live = append(live, cur)
+		snap = append(snap, cur.Clone())
+	}
+	ce.Forward(cur, labels)
+	net.Backward(ce.Backward(1))
+
+	for i, buf := range live {
+		for j := range buf.Data {
+			if buf.Data[j] != snap[i].Data[j] {
+				t.Fatalf("layer %d activation[%d] corrupted by Backward: %v != %v",
+					i, j, buf.Data[j], snap[i].Data[j])
+			}
+		}
+	}
+}
+
+// TestReusedBuffersAreDeterministic re-runs the identical iteration twice on
+// warm buffers and requires bit-identical losses and gradients — reuse must
+// be numerically invisible.
+func TestReusedBuffersAreDeterministic(t *testing.T) {
+	g := rng.New(24)
+	net := convTestNet(g)
+	x := tensor.New(4, 64)
+	g.FillNormal(x.Data, 1)
+	labels := []int{2, 1, 0, 1}
+	var ce SoftmaxCrossEntropy
+	run := func() (float64, []float64) {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		v := ce.Forward(out, labels)
+		net.Backward(ce.Backward(1))
+		flat := make([]float64, ParamCount(net.Params()))
+		FlattenGrads(flat, net.Params())
+		return v, flat
+	}
+	run() // warm
+	l1, g1 := run()
+	l2, g2 := run()
+	if l1 != l2 {
+		t.Fatalf("loss differs across reused iterations: %v vs %v", l1, l2)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("grad[%d] differs across reused iterations: %v vs %v", i, g1[i], g2[i])
+		}
+	}
+}
+
+// TestBatchSizeChangeReallocatesSafely drives the same net with alternating
+// batch sizes (the evaluation remainder-batch pattern) and checks outputs
+// stay correct — reuseFor must key on shape, not just capacity.
+func TestBatchSizeChangeReallocatesSafely(t *testing.T) {
+	g := rng.New(25)
+	d := NewDense("fc", 3, 2, g)
+	x4 := tensor.New(4, 3)
+	x2 := tensor.New(2, 3)
+	g.FillNormal(x4.Data, 1)
+	copy(x2.Data, x4.Data[:6])
+	out4 := d.Forward(x4, false).Clone()
+	out2 := d.Forward(x2, false)
+	if out2.Shape[0] != 2 {
+		t.Fatalf("remainder batch output shape %v", out2.Shape)
+	}
+	for i := 0; i < 4; i++ { // first two rows of x4 == x2
+		if out2.Data[i] != out4.Data[i] {
+			t.Fatalf("batch-size change corrupted output: %v vs %v", out2.Data[i], out4.Data[i])
+		}
+	}
+}

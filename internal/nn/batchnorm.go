@@ -35,10 +35,12 @@ type BatchNorm struct {
 	// Last batch statistics, exposed to the distributed strategies.
 	batchMean, batchVar []float64
 
-	// Backward caches.
-	x      *tensor.Tensor
-	xhat   *tensor.Tensor
-	invStd []float64
+	// Backward caches. xhat is reused across iterations (reuseFor); out/dx
+	// are the layer's reused output and input-gradient buffers.
+	x       *tensor.Tensor
+	xhat    *tensor.Tensor
+	invStd  []float64
+	out, dx *tensor.Tensor
 }
 
 // NewBatchNorm builds a BN layer for c channels with the given spatial size
@@ -72,10 +74,10 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: BatchNorm %s expects [N,%d], got %v", bn.Gamma.Name, feat, x.Shape))
 	}
 	n := x.Shape[0]
-	out := tensor.New(n, feat)
+	out := reuse2(&bn.out, n, feat)
 	if train {
 		bn.x = x
-		bn.xhat = tensor.New(n, feat)
+		bn.xhat = reuse2(&bn.xhat, n, feat)
 		m := float64(n * bn.Spatial)
 		for c := 0; c < bn.C; c++ {
 			sum := 0.0
@@ -131,7 +133,7 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := bn.x.Shape[0]
 	feat := bn.C * bn.Spatial
-	dx := tensor.New(n, feat)
+	dx := reuse2(&bn.dx, n, feat) // every element is assigned below
 	m := float64(n * bn.Spatial)
 	for c := 0; c < bn.C; c++ {
 		g := bn.Gamma.Value.Data[c]
@@ -175,6 +177,17 @@ func (bn *BatchNorm) BatchMean() []float64 {
 // BatchVar returns a copy of the most recent training-batch variances.
 func (bn *BatchNorm) BatchVar() []float64 {
 	return append([]float64(nil), bn.batchVar...)
+}
+
+// ReadBatchStats copies the most recent training-batch statistics into the
+// caller-provided slices (length C each) — the allocation-free variant of
+// BatchMean/BatchVar used by the per-iteration statistics push.
+func (bn *BatchNorm) ReadBatchStats(mean, variance []float64) {
+	if len(mean) != bn.C || len(variance) != bn.C {
+		panic(fmt.Sprintf("nn: ReadBatchStats expects %d channels, got %d/%d", bn.C, len(mean), len(variance)))
+	}
+	copy(mean, bn.batchMean)
+	copy(variance, bn.batchVar)
 }
 
 // SetRunning overwrites the running statistics — the hook the parameter

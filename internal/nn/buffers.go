@@ -1,0 +1,53 @@
+package nn
+
+import "lcasgd/internal/tensor"
+
+// reuseFor returns the cached buffer *buf when it already has the wanted
+// shape, replacing it with a fresh tensor otherwise.
+//
+// This is the memory model of the whole layer zoo (see DESIGN.md "Memory
+// model"): every layer keeps one output buffer and one input-gradient
+// buffer alive per instance instead of calling tensor.New per Forward/
+// Backward. Because each simulated worker owns a private replica of the
+// network (the Layer contract) this is single-owner state, and because the
+// buffers are distinct per layer, forward activations cached for the
+// backward pass can never alias the gradients flowing back through other
+// layers. A shape change (a different batch size, e.g. an evaluation
+// remainder batch) reallocates exactly once per change.
+//
+// The returned tensor's contents are unspecified; callers either overwrite
+// every element or explicitly Zero() it first (the scatter-accumulate
+// kernels).
+func reuseFor(buf **tensor.Tensor, shape []int) *tensor.Tensor {
+	b := *buf
+	if b != nil && sameDims(b.Shape, shape) {
+		return b
+	}
+	b = tensor.New(shape...)
+	*buf = b
+	return b
+}
+
+// reuse2 is reuseFor for the common [r, c] case without building a shape
+// slice at the call site.
+func reuse2(buf **tensor.Tensor, r, c int) *tensor.Tensor {
+	b := *buf
+	if b != nil && len(b.Shape) == 2 && b.Shape[0] == r && b.Shape[1] == c {
+		return b
+	}
+	b = tensor.New(r, c)
+	*buf = b
+	return b
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -18,6 +18,16 @@ type Conv2D struct {
 
 	x   *tensor.Tensor // cached input
 	col []float64      // reusable im2col buffer for one image
+
+	// Batch-independent scratch allocated at construction: the im2col view,
+	// the per-image matmul products of both passes, and the weight-gradient
+	// accumulator. out/dx are per-batch-shape (see reuseFor).
+	colT    *tensor.Tensor // [ColRows, ColCols] view over col
+	prod    *tensor.Tensor // [ColRows, OutC]
+	dOutMat *tensor.Tensor // [ColRows, OutC], per-sample grad in [HW, OutC] layout
+	dW      *tensor.Tensor // [ColCols, OutC]
+	dCol    *tensor.Tensor // [ColRows, ColCols]
+	out, dx *tensor.Tensor
 }
 
 // NewConv2D constructs a convolution layer with He initialization. It
@@ -35,6 +45,11 @@ func NewConv2D(name string, g tensor.ConvGeom, outC int, r *rng.RNG) *Conv2D {
 	}
 	c.W.InitHe(r, g.ColCols())
 	c.col = make([]float64, g.ColRows()*g.ColCols())
+	c.colT = tensor.FromSlice(c.col, g.ColRows(), g.ColCols())
+	c.prod = tensor.New(g.ColRows(), outC)
+	c.dOutMat = tensor.New(g.ColRows(), outC)
+	c.dW = tensor.New(g.ColCols(), outC)
+	c.dCol = tensor.New(g.ColRows(), g.ColCols())
 	return c
 }
 
@@ -48,14 +63,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
 	outH, outW := c.Geom.OutH(), c.Geom.OutW()
 	outFeat := c.OutC * outH * outW
-	out := tensor.New(n, outFeat)
-	colT := tensor.FromSlice(c.col, c.Geom.ColRows(), c.Geom.ColCols())
-	prod := tensor.New(c.Geom.ColRows(), c.OutC)
+	out := reuse2(&c.out, n, outFeat)
+	prod := c.prod
 	hw := outH * outW
 	for i := 0; i < n; i++ {
 		img := x.Data[i*inFeat : (i+1)*inFeat]
 		tensor.Im2Col(c.col, img, c.Geom)
-		tensor.MatMulInto(prod, colT, c.W.Value) // [HW, OutC]
+		tensor.MatMulInto(prod, c.colT, c.W.Value) // [HW, OutC]
 		dst := out.Data[i*outFeat : (i+1)*outFeat]
 		// Transpose [HW, OutC] -> channel-major [OutC, HW] and add bias.
 		for p := 0; p < hw; p++ {
@@ -75,9 +89,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	outH, outW := c.Geom.OutH(), c.Geom.OutW()
 	hw := outH * outW
 	outFeat := c.OutC * hw
-	dx := tensor.New(n, inFeat)
-	dOutMat := tensor.New(hw, c.OutC) // per-sample gradient in [HW, OutC] layout
-	colT := tensor.FromSlice(c.col, hw, c.Geom.ColCols())
+	dx := reuse2(&c.dx, n, inFeat)
+	dx.Zero() // Col2Im accumulates into the image gradient
+	dOutMat := c.dOutMat
 	for i := 0; i < n; i++ {
 		gslice := grad.Data[i*outFeat : (i+1)*outFeat]
 		for oc := 0; oc < c.OutC; oc++ {
@@ -97,11 +111,11 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		// Weight gradient: colᵀ @ dOut.
 		img := c.x.Data[i*inFeat : (i+1)*inFeat]
 		tensor.Im2Col(c.col, img, c.Geom)
-		dW := tensor.MatMulTransA(colT, dOutMat)
-		tensor.AXPY(c.W.Grad, 1, dW)
+		tensor.MatMulTransAInto(c.dW, c.colT, dOutMat)
+		tensor.AXPY(c.W.Grad, 1, c.dW)
 		// Input gradient: (dOut @ Wᵀ) scattered by col2im.
-		dCol := tensor.MatMulTransB(dOutMat, c.W.Value) // [HW, ColCols]
-		tensor.Col2Im(dx.Data[i*inFeat:(i+1)*inFeat], dCol.Data, c.Geom)
+		tensor.MatMulTransBInto(c.dCol, dOutMat, c.W.Value) // [HW, ColCols]
+		tensor.Col2Im(dx.Data[i*inFeat:(i+1)*inFeat], c.dCol.Data, c.Geom)
 	}
 	return dx
 }

@@ -13,6 +13,11 @@ type Dense struct {
 	In, Out int
 	W, B    *Param
 	x       *tensor.Tensor // cached input for backward
+
+	// Reused buffers (see reuseFor): per-call outputs/gradients plus the
+	// batch-independent gradient scratch allocated at construction.
+	out, dx *tensor.Tensor
+	dW, db  *tensor.Tensor
 }
 
 // NewDense constructs a dense layer with He initialization (suited to the
@@ -23,6 +28,8 @@ func NewDense(name string, in, out int, g *rng.RNG) *Dense {
 		Out: out,
 		W:   NewParam(name+".W", in, out),
 		B:   NewParam(name+".b", out),
+		dW:  tensor.New(in, out),
+		db:  tensor.New(out),
 	}
 	d.W.InitHe(g, in)
 	return d
@@ -34,7 +41,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense %s expects [N,%d], got %v", d.W.Name, d.In, x.Shape))
 	}
 	d.x = x
-	out := tensor.MatMul(x, d.W.Value)
+	out := reuse2(&d.out, x.Shape[0], d.Out)
+	tensor.MatMulInto(out, x, d.W.Value)
 	tensor.AddRowVector(out, out, d.B.Value)
 	return out
 }
@@ -42,11 +50,13 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward accumulates dW = xᵀ @ dY, db = Σ_rows dY and returns
 // dX = dY @ Wᵀ.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dW := tensor.MatMulTransA(d.x, grad)
-	tensor.AXPY(d.W.Grad, 1, dW)
-	db := tensor.RowSum(grad)
-	tensor.AXPY(d.B.Grad, 1, db)
-	return tensor.MatMulTransB(grad, d.W.Value)
+	tensor.MatMulTransAInto(d.dW, d.x, grad)
+	tensor.AXPY(d.W.Grad, 1, d.dW)
+	tensor.RowSumInto(d.db, grad)
+	tensor.AXPY(d.B.Grad, 1, d.db)
+	dx := reuse2(&d.dx, grad.Shape[0], d.In)
+	tensor.MatMulTransBInto(dx, grad, d.W.Value)
+	return dx
 }
 
 // Params returns the weight and bias.

@@ -12,6 +12,15 @@ import "lcasgd/internal/tensor"
 // overwriting, so gradient accumulation across micro-batches works).
 // Layers are not safe for concurrent use; each simulated worker owns a
 // private replica of the network.
+//
+// Buffer-reuse contract (the zero-allocation hot path): the tensors
+// returned by Forward and Backward are layer-owned buffers that the SAME
+// method's next call overwrites. Consumers must finish reading a result
+// before re-invoking that method on the same layer — which the strict
+// forward-then-backward iteration order guarantees — and must Clone
+// anything they keep across iterations. Forward activations survive the
+// whole backward pass untouched because every layer's output and
+// input-gradient buffers are distinct allocations.
 type Layer interface {
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	Backward(grad *tensor.Tensor) *tensor.Tensor
@@ -23,6 +32,15 @@ type Layer interface {
 // nest sequential paths.
 type Sequential struct {
 	Layers []Layer
+
+	// Cached layer-tree walks, invalidated by Add. ZeroGrad and the
+	// per-iteration BN statistics push would otherwise re-walk and
+	// re-allocate the tree every worker iteration. Mutating a nested
+	// container after its parent has cached a walk is unsupported: build
+	// the tree bottom-up (as internal/model does), then train.
+	paramsCache []*Param
+	bnsCache    []*BatchNorm
+	bnsCached   bool
 }
 
 // NewSequential builds a container from the given layers.
@@ -30,8 +48,13 @@ func NewSequential(layers ...Layer) *Sequential {
 	return &Sequential{Layers: layers}
 }
 
-// Add appends a layer.
-func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+// Add appends a layer and invalidates the cached Params/BatchNorms walks.
+func (s *Sequential) Add(l Layer) {
+	s.Layers = append(s.Layers, l)
+	s.paramsCache = nil
+	s.bnsCache = nil
+	s.bnsCached = false
+}
 
 // Forward runs every layer in order.
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -49,13 +72,18 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns all parameters in layer order.
+// Params returns all parameters in layer order. The walk is computed once
+// and cached (Add invalidates); callers must treat the returned slice as
+// read-only.
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range s.Layers {
-		ps = append(ps, l.Params()...)
+	if s.paramsCache == nil {
+		ps := []*Param{}
+		for _, l := range s.Layers {
+			ps = append(ps, l.Params()...)
+		}
+		s.paramsCache = ps
 	}
-	return ps
+	return s.paramsCache
 }
 
 // OutFeatures reports the feature width of the final layer.
@@ -75,8 +103,13 @@ func (s *Sequential) ZeroGrad() {
 
 // BatchNorms returns every BatchNorm layer in the container, recursing into
 // nested sequentials and residual blocks. The distributed algorithms use
-// this to collect and inject normalization statistics (Async-BN).
+// this to collect and inject normalization statistics (Async-BN). Like
+// Params, the walk is cached until the next Add; treat the result as
+// read-only.
 func (s *Sequential) BatchNorms() []*BatchNorm {
+	if s.bnsCached {
+		return s.bnsCache
+	}
 	var bns []*BatchNorm
 	var walk func(l Layer)
 	walk = func(l Layer) {
@@ -97,14 +130,17 @@ func (s *Sequential) BatchNorms() []*BatchNorm {
 	for _, l := range s.Layers {
 		walk(l)
 	}
+	s.bnsCache = bns
+	s.bnsCached = true
 	return bns
 }
 
 // ReLULayer applies the rectifier elementwise. It is stateless apart from
-// caching its input for the backward pass.
+// caching its input for the backward pass and its reused buffers.
 type ReLULayer struct {
 	features int
 	x        *tensor.Tensor
+	out, dx  *tensor.Tensor
 }
 
 // NewReLU returns a ReLU layer that reports the given feature width.
@@ -113,16 +149,16 @@ func NewReLU(features int) *ReLULayer { return &ReLULayer{features: features} }
 // Forward computes max(x, 0).
 func (r *ReLULayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.x = x
-	out := tensor.New(x.Shape...)
+	out := reuseFor(&r.out, x.Shape)
 	tensor.ReLU(out, x)
 	return out
 }
 
 // Backward masks the incoming gradient by the sign of the cached input.
 func (r *ReLULayer) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape...)
-	tensor.ReLUBackward(out, grad, r.x)
-	return out
+	dx := reuseFor(&r.dx, grad.Shape)
+	tensor.ReLUBackward(dx, grad, r.x)
+	return dx
 }
 
 // Params returns nil; ReLU has no parameters.

@@ -13,16 +13,19 @@ import (
 // fused backward pass is the familiar (softmax − onehot)/N.
 type SoftmaxCrossEntropy struct {
 	probs  *tensor.Tensor
+	grad   *tensor.Tensor // reused logits-gradient buffer
 	labels []int
 }
 
-// Forward returns the mean cross-entropy loss.
+// Forward returns the mean cross-entropy loss. The labels slice is retained
+// until the matching Backward; callers reusing a labels buffer must not
+// rewrite it in between (the replica iteration order guarantees this).
 func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
 	if logits.Rank() != 2 || logits.Shape[0] != len(labels) {
 		panic(fmt.Sprintf("nn: loss shape %v vs %d labels", logits.Shape, len(labels)))
 	}
 	n, c := logits.Shape[0], logits.Shape[1]
-	l.probs = tensor.New(n, c)
+	l.probs = reuse2(&l.probs, n, c)
 	tensor.Softmax(l.probs, logits)
 	l.labels = labels
 	loss := 0.0
@@ -42,10 +45,12 @@ func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) float
 // Backward returns dLoss/dLogits for the most recent Forward. The optional
 // scale multiplies the gradient — this is the seam the LC-ASGD loss
 // compensation uses to rescale a stale gradient by the ratio of the
-// compensated loss to the observed loss (see internal/core).
+// compensated loss to the observed loss (see internal/core). The returned
+// tensor is a reused buffer, overwritten by the next Backward call.
 func (l *SoftmaxCrossEntropy) Backward(scale float64) *tensor.Tensor {
 	n, c := l.probs.Shape[0], l.probs.Shape[1]
-	grad := l.probs.Clone()
+	grad := reuse2(&l.grad, n, c)
+	grad.CopyFrom(l.probs)
 	for i, y := range l.labels {
 		grad.Data[i*c+y] -= 1
 	}
@@ -69,6 +74,7 @@ func Accuracy(logits *tensor.Tensor, labels []int) float64 {
 // online (loss prediction and step prediction are both regressions).
 type MSELoss struct {
 	diff *tensor.Tensor
+	grad *tensor.Tensor // reused gradient buffer
 }
 
 // Forward returns mean squared error between pred and target.
@@ -76,7 +82,7 @@ func (l *MSELoss) Forward(pred, target *tensor.Tensor) float64 {
 	if pred.Len() != target.Len() {
 		panic(fmt.Sprintf("nn: MSE length %d vs %d", pred.Len(), target.Len()))
 	}
-	l.diff = tensor.New(pred.Shape...)
+	l.diff = reuseFor(&l.diff, pred.Shape)
 	tensor.Sub(l.diff, pred, target)
 	s := 0.0
 	for _, d := range l.diff.Data {
@@ -87,7 +93,7 @@ func (l *MSELoss) Forward(pred, target *tensor.Tensor) float64 {
 
 // Backward returns dLoss/dPred for the most recent Forward.
 func (l *MSELoss) Backward() *tensor.Tensor {
-	grad := tensor.New(l.diff.Shape...)
+	grad := reuseFor(&l.grad, l.diff.Shape)
 	tensor.Scale(grad, l.diff, 2/float64(l.diff.Len()))
 	return grad
 }

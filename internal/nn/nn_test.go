@@ -310,7 +310,7 @@ func TestSoftmaxCEGradientScale(t *testing.T) {
 	var ce SoftmaxCrossEntropy
 	logits := tensor.FromSlice([]float64{1, -1, 0.5, 2}, 2, 2)
 	ce.Forward(logits, []int{0, 1})
-	g1 := ce.Backward(1)
+	g1 := ce.Backward(1).Clone() // Backward reuses its buffer across calls
 	g2 := ce.Backward(2.5)
 	for i := range g1.Data {
 		if math.Abs(g2.Data[i]-2.5*g1.Data[i]) > 1e-12 {

@@ -12,6 +12,7 @@ type MaxPool2D struct {
 	K       int
 	argmax  []int // flat input index chosen per output element, for backward
 	inShape []int
+	out, dx *tensor.Tensor // reused buffers
 }
 
 // NewMaxPool2D builds a pooling layer. H and W must be divisible by k.
@@ -31,8 +32,10 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
 	oh, ow := p.H/p.K, p.W/p.K
 	outFeat := p.C * oh * ow
-	out := tensor.New(n, outFeat)
-	p.argmax = make([]int, n*outFeat)
+	out := reuse2(&p.out, n, outFeat)
+	if len(p.argmax) != n*outFeat {
+		p.argmax = make([]int, n*outFeat)
+	}
 	p.inShape = x.Shape
 	for i := 0; i < n; i++ {
 		for c := 0; c < p.C; c++ {
@@ -61,7 +64,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward routes each output gradient to the input element that won the max.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	dx := reuseFor(&p.dx, p.inShape)
+	dx.Zero() // the scatter below accumulates
 	for oidx, iidx := range p.argmax {
 		dx.Data[iidx] += grad.Data[oidx]
 	}
@@ -79,6 +83,7 @@ func (p *MaxPool2D) OutFeatures() int { return p.C * (p.H / p.K) * (p.W / p.K) }
 type GlobalAvgPool struct {
 	C, Spatial int
 	n          int
+	out, dx    *tensor.Tensor // reused buffers
 }
 
 // NewGlobalAvgPool builds the layer for c channels of the given spatial size.
@@ -94,7 +99,7 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n := x.Shape[0]
 	p.n = n
-	out := tensor.New(n, p.C)
+	out := reuse2(&p.out, n, p.C)
 	inv := 1 / float64(p.Spatial)
 	for i := 0; i < n; i++ {
 		for c := 0; c < p.C; c++ {
@@ -112,7 +117,7 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward spreads each channel gradient uniformly over its spatial plane.
 func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	inFeat := p.C * p.Spatial
-	dx := tensor.New(p.n, inFeat)
+	dx := reuse2(&p.dx, p.n, inFeat) // every element is assigned below
 	inv := 1 / float64(p.Spatial)
 	for i := 0; i < p.n; i++ {
 		for c := 0; c < p.C; c++ {

@@ -15,6 +15,9 @@ type Residual struct {
 	Shortcut *Sequential // nil means identity
 
 	sum *tensor.Tensor // pre-activation cache for the final ReLU backward
+
+	// Reused buffers (see reuseFor).
+	out, dSum, dx *tensor.Tensor
 }
 
 // NewResidual builds a residual block.
@@ -37,10 +40,9 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !main.SameShape(skip) {
 		panic(fmt.Sprintf("nn: residual shape mismatch %v vs %v (missing projection shortcut?)", main.Shape, skip.Shape))
 	}
-	sum := tensor.New(main.Shape...)
+	sum := reuseFor(&r.sum, main.Shape)
 	tensor.Add(sum, main, skip)
-	r.sum = sum
-	out := tensor.New(sum.Shape...)
+	out := reuseFor(&r.out, sum.Shape)
 	tensor.ReLU(out, sum)
 	return out
 }
@@ -48,7 +50,7 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward propagates through the final ReLU, then through both branches,
 // summing their input gradients.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dSum := tensor.New(grad.Shape...)
+	dSum := reuseFor(&r.dSum, grad.Shape)
 	tensor.ReLUBackward(dSum, grad, r.sum)
 	dxPath := r.Path.Backward(dSum)
 	var dxSkip *tensor.Tensor
@@ -57,17 +59,23 @@ func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	} else {
 		dxSkip = dSum
 	}
-	dx := tensor.New(dxPath.Shape...)
+	dx := reuseFor(&r.dx, dxPath.Shape)
 	tensor.Add(dx, dxPath, dxSkip)
 	return dx
 }
 
-// Params returns the parameters of both branches.
+// Params returns the parameters of both branches in a fresh slice — it must
+// not append into the branches' cached walks (callers treat those as
+// read-only); containers cache the combined walk anyway.
 func (r *Residual) Params() []*Param {
-	ps := r.Path.Params()
-	if r.Shortcut != nil {
-		ps = append(ps, r.Shortcut.Params()...)
+	pathPs := r.Path.Params()
+	if r.Shortcut == nil {
+		return pathPs
 	}
+	shortPs := r.Shortcut.Params()
+	ps := make([]*Param, 0, len(pathPs)+len(shortPs))
+	ps = append(ps, pathPs...)
+	ps = append(ps, shortPs...)
 	return ps
 }
 

@@ -1,0 +1,105 @@
+package ps
+
+import (
+	"testing"
+
+	"lcasgd/internal/core"
+	"lcasgd/internal/rng"
+)
+
+// TestWorkerIterationZeroAllocSteadyState pins the full worker-local
+// iteration — pull (weights + BN install + workspace reset), forward,
+// compensated backward, BN stats refresh and fold — to zero heap
+// allocations once the buffers are warm, for both a dense MLP and the
+// full conv/BN/residual stack. This is the tentpole regression guard:
+// the previous implementation allocated fresh tensors in every layer of
+// every pass.
+func TestWorkerIterationZeroAllocSteadyState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		env  Env
+	}{
+		{"mlp", tinyEnvSeeded(ASGD, 1, 2)},
+		{"resnet", convEnvSeeded(ASGD, 1, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, w, bnAcc := benchReplica(tc.env)
+			iter := func() {
+				rep.pull(w, bnAcc)
+				rep.forward()
+				rep.backward(1.25) // compensated path, like LC-ASGD
+				bnAcc.Update(rep.stats())
+			}
+			// Warm across an epoch wrap so the reshuffle path is exercised.
+			for i := 0; i < 12; i++ {
+				iter()
+			}
+			if a := testing.AllocsPerRun(20, iter); a != 0 {
+				t.Fatalf("steady-state worker iteration allocates %v times, want 0", a)
+			}
+		})
+	}
+}
+
+// TestReplicaPullResetsWorkspace pins the reset-on-recovery rule: every
+// pull — including the re-pull a recovered worker performs after a crash
+// cancelled its iteration mid-flight — must rewind the replica's workspace
+// so the next iteration replays the same buffers instead of aliasing onto
+// stale ones.
+func TestReplicaPullResetsWorkspace(t *testing.T) {
+	rep, w, bnAcc := benchReplica(tinyEnvSeeded(ASGD, 1, 2))
+	rep.pull(w, bnAcc)
+	gen := rep.ws.Generation()
+	rep.forward() // mid-iteration: one live batch buffer
+	if rep.ws.Live() != 1 {
+		t.Fatalf("live workspace buffers mid-iteration: %d, want 1", rep.ws.Live())
+	}
+	rep.pull(w, bnAcc) // crash-recovery re-pull without finishing the iteration
+	if rep.ws.Generation() != gen+1 {
+		t.Fatalf("pull did not advance the workspace generation: %d -> %d", gen, rep.ws.Generation())
+	}
+	if rep.ws.Live() != 0 {
+		t.Fatalf("live workspace buffers after re-pull: %d, want 0", rep.ws.Live())
+	}
+	// The recovered iteration must replay cleanly and not grow the arena.
+	loss, grad := rep.gradient()
+	if loss <= 0 || len(grad) != rep.nParams {
+		t.Fatalf("recovered iteration produced loss %v, %d grads", loss, len(grad))
+	}
+	if rep.ws.Live() != 1 {
+		t.Fatalf("workspace grew after recovery: %d live buffers", rep.ws.Live())
+	}
+}
+
+// TestEvalZeroAllocSteadyState pins a warmed evaluation pass (per-shard
+// workspace, label and prediction buffers) to zero allocations per batch
+// loop. The tiny env's sizes are deliberately awkward for EvalBatch=150:
+// Train=160 is a full batch plus a 10-sample remainder and Test=80 is a
+// lone partial batch, so alternating the two datasets through the same
+// shard nets exercises the remainder-padding path that keeps the layers'
+// reuse buffers at one stable shape (an unpadded remainder would
+// reallocate the whole layer zoo twice per pass).
+func TestEvalZeroAllocSteadyState(t *testing.T) {
+	env := tinyEnvSeeded(ASGD, 1, 2)
+	cfg := env.Cfg.withDefaults()
+	seedRng := rng.New(cfg.Seed)
+	modelSeed := seedRng.Uint64()
+	rep := newReplica(env.Build, modelSeed, env.Train, cfg.BatchSize, seedRng.SplitLabeled(300))
+	bnAcc := core.NewBNAccumulator(cfg.BNMode, 0.2, rep.bns)
+	w := make([]float64, rep.nParams)
+	flatten(rep, w)
+	ev := newEvaluator(env.Build, modelSeed, cfg.EvalBatch, seqBackend{})
+	ev.errOn(env.Train, w, bnAcc) // warm pool + buffers
+	ev.errOn(env.Test, w, bnAcc)
+	iter := func() {
+		ev.errOn(env.Train, w, bnAcc)
+		ev.errOn(env.Test, w, bnAcc)
+	}
+	if a := testing.AllocsPerRun(5, iter); a > 4 {
+		// errOn pays two tiny per-PASS allocations (the counts slice and the
+		// ParallelFor closure); the per-BATCH path must be allocation-free,
+		// which this bound catches: one extra alloc per batch would show up
+		// as dozens per iteration.
+		t.Fatalf("steady-state evaluation allocates %v times per train+test pass, want <= 4", a)
+	}
+}

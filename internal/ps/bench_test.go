@@ -66,3 +66,61 @@ func BenchmarkLCASGDFleet(b *testing.B) {
 		})
 	}
 }
+
+// convEnvSeeded is tinyEnvSeeded with a small ResNet so benchmarks and
+// tests cover conv, BN, residual and pooling layers.
+func convEnvSeeded(algo Algo, workers, epochs int) Env {
+	env := tinyEnvSeeded(algo, workers, epochs)
+	d := data.Config{
+		Classes: 4, C: 3, H: 8, W: 8,
+		Train: 80, Test: 40,
+		NoiseSigma: 0.8, SignalScale: 0.5, Smoothing: 1, Seed: 99,
+	}
+	env.Train, env.Test = data.Generate(d)
+	mc := model.ResNetLite18(4)
+	env.Build = func(g *rng.RNG) *nn.Sequential { return mc.Build(g) }
+	env.Cfg.BatchSize = 10
+	return env
+}
+
+// benchReplica builds a standalone worker replica plus the server-side
+// state one pull needs, bypassing the engine so the benchmark isolates the
+// worker-local compute path.
+func benchReplica(env Env) (*replica, []float64, *core.BNAccumulator) {
+	cfg := env.Cfg.withDefaults()
+	seedRng := rng.New(cfg.Seed)
+	modelSeed := seedRng.Uint64()
+	rep := newReplica(env.Build, modelSeed, env.Train, cfg.BatchSize, seedRng.SplitLabeled(300))
+	bnAcc := core.NewBNAccumulator(cfg.BNMode, 0.2, rep.bns)
+	w := make([]float64, rep.nParams)
+	flatten(rep, w)
+	return rep, w, bnAcc
+}
+
+// BenchmarkWorkerIteration measures one steady-state worker iteration —
+// pull, forward, backward, stats fold — the innermost unit every algorithm
+// repeats. allocs/op is the headline number: the zero-allocation hot path
+// pins it to 0 (it was several hundred before the workspace refactor).
+func BenchmarkWorkerIteration(b *testing.B) {
+	benches := []struct {
+		name string
+		env  Env
+	}{
+		{"mlp", benchEnv(ASGD, 1, BackendSequential)},
+		{"resnet", convEnvSeeded(ASGD, 1, 2)},
+	}
+	for _, bc := range benches {
+		b.Run(bc.name, func(b *testing.B) {
+			rep, w, bnAcc := benchReplica(bc.env)
+			rep.pull(w, bnAcc)
+			rep.gradient() // warm the layer buffers and workspace
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep.pull(w, bnAcc)
+				rep.gradient()
+				bnAcc.Update(rep.stats())
+			}
+		})
+	}
+}

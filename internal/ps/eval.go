@@ -16,7 +16,9 @@ import (
 // Evaluation batches are sharded across the execution backend's
 // ParallelFor; each shard counts correct predictions on its own net, and
 // the integer counts sum identically whatever the parallelism, so both
-// backends report bit-identical error rates.
+// backends report bit-identical error rates. Each shard net carries its own
+// tensor.Workspace plus label/prediction buffers, so a steady-state
+// evaluation batch allocates nothing.
 type evaluator struct {
 	build     func(*rng.RNG) *nn.Sequential
 	modelSeed uint64
@@ -25,11 +27,15 @@ type evaluator struct {
 	nets      []*evalNet
 }
 
-// evalNet is one inference replica of the pool.
+// evalNet is one inference replica of the pool with its per-shard buffers.
 type evalNet struct {
 	net    *nn.Sequential
 	bns    []*nn.BatchNorm
 	params []*nn.Param
+	ws     *tensor.Workspace
+	idx    []int
+	y      []int
+	pred   []int
 }
 
 func newEvaluator(build func(*rng.RNG) *nn.Sequential, modelSeed uint64, batchSize int, be Backend) *evaluator {
@@ -40,7 +46,13 @@ func newEvaluator(build func(*rng.RNG) *nn.Sequential, modelSeed uint64, batchSi
 func (e *evaluator) pool(n int) []*evalNet {
 	for len(e.nets) < n {
 		net := e.build(rng.New(e.modelSeed))
-		e.nets = append(e.nets, &evalNet{net: net, bns: net.BatchNorms(), params: net.Params()})
+		e.nets = append(e.nets, &evalNet{
+			net: net, bns: net.BatchNorms(), params: net.Params(),
+			ws:   tensor.NewWorkspace(),
+			idx:  make([]int, e.batchSize),
+			y:    make([]int, e.batchSize),
+			pred: make([]int, e.batchSize),
+		})
 	}
 	return e.nets[:n]
 }
@@ -75,25 +87,43 @@ func (e *evaluator) errOn(ds *data.Dataset, w []float64, bnAcc *core.BNAccumulat
 
 // countCorrect evaluates batches start, start+stride, start+2·stride, … and
 // returns the number of correctly classified samples.
+//
+// A remainder batch (ds.Len() not a multiple of batchSize) is padded back
+// to full size with repeats of its last sample: the layers' reuse buffers
+// keep a single stable shape — a smaller batch would reallocate the whole
+// layer zoo here and again on the next full-size batch, every evaluation
+// pass, on whichever shard owns the tail. Only the first size rows are
+// counted, and inference-mode forward is row-independent for every layer
+// (BN uses running statistics), so the counted rows are bit-identical to
+// an unpadded pass.
 func (n *evalNet) countCorrect(ds *data.Dataset, batchSize, start, stride int) int {
 	nBatches := (ds.Len() + batchSize - 1) / batchSize
+	f := ds.Features()
 	correct := 0
-	idx := make([]int, 0, batchSize)
 	for b := start; b < nBatches; b += stride {
 		lo := b * batchSize
 		hi := lo + batchSize
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		idx = idx[:0]
-		for j := lo; j < hi; j++ {
-			idx = append(idx, j)
+		size := hi - lo
+		idx := n.idx[:batchSize]
+		for j := range idx {
+			k := lo + j
+			if k >= hi {
+				k = hi - 1
+			}
+			idx[j] = k
 		}
-		x, y := ds.Batch(idx)
+		n.ws.Reset()
+		x := n.ws.Get(batchSize, f)
+		y := n.y[:batchSize]
+		ds.BatchInto(x, y, idx)
 		out := n.net.Forward(x, false)
-		pred := tensor.ArgmaxRows(out)
-		for i, p := range pred {
-			if p == y[i] {
+		pred := n.pred[:batchSize]
+		tensor.ArgmaxRowsInto(pred, out)
+		for i := 0; i < size; i++ {
+			if pred[i] == y[i] {
 				correct++
 			}
 		}

@@ -1,0 +1,69 @@
+package ps
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"lcasgd/internal/scenario"
+)
+
+// TestFingerprint is a temporary harness used while refactoring: it dumps
+// exact float bits of every algorithm's results (stationary + scenarios) so
+// a refactor can be proven numerically invisible. Run with
+// FINGERPRINT=path go test -run TestFingerprint ./internal/ps
+func TestFingerprint(t *testing.T) {
+	path := os.Getenv("FINGERPRINT")
+	if path == "" {
+		t.Skip("set FINGERPRINT=path to dump")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dump := func(label string, env Env) {
+		res := Run(env)
+		fmt.Fprintf(f, "== %s ==\n", label)
+		fmt.Fprintf(f, "updates=%d virtual=%x maxstale=%d meanstale=%x events=%d\n",
+			res.Updates, res.VirtualMs, res.MaxStaleness, res.MeanStaleness, res.ScenarioEvents)
+		fmt.Fprintf(f, "final train=%x test=%x\n", res.FinalTrainErr, res.FinalTestErr)
+		for i, p := range res.Points {
+			fmt.Fprintf(f, "pt%d epoch=%d t=%x tr=%x te=%x\n", i, p.Epoch, p.Time, p.TrainErr, p.TestErr)
+		}
+		for i, tp := range res.LossTrace {
+			fmt.Fprintf(f, "lt%d %d %x %x\n", i, tp.Iteration, tp.Actual, tp.Predicted)
+		}
+		for i, tp := range res.StepTrace {
+			fmt.Fprintf(f, "st%d %d %x %x\n", i, tp.Iteration, tp.Actual, tp.Predicted)
+		}
+	}
+	scns := append([]*scenario.Scenario{nil}, equivalenceScenarios()...)
+	for _, algo := range allAlgos {
+		for _, kind := range []BackendKind{BackendSequential, BackendConcurrent} {
+			for _, scn := range scns {
+				m := 4
+				if algo == SGD {
+					m = 1
+				}
+				env := tinyEnvSeeded(algo, m, 2)
+				env.Cfg.Backend = kind
+				name := "none"
+				if scn != nil {
+					env.Cfg.Scenario = scn
+					name = scn.Name
+				}
+				dump(fmt.Sprintf("%s/%s/%s", algo, kind, name), env)
+			}
+		}
+	}
+	// Partitioned + DC-ASGD exercises remaining paths.
+	env := tinyEnvSeeded(DCASGD, 4, 2)
+	env.Cfg.Partitioned = true
+	dump("DC-ASGD/partitioned", env)
+	// A conv/BN/residual/pool model exercises the whole layer zoo.
+	for _, algo := range []Algo{LCASGD, SSGD} {
+		env := convEnvSeeded(algo, 3, 2)
+		dump(fmt.Sprintf("%s/convnet", algo), env)
+	}
+}

@@ -5,12 +5,22 @@ import (
 	"lcasgd/internal/data"
 	"lcasgd/internal/nn"
 	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
 )
 
 // replica is one worker's private copy of the model plus its view of the
 // shared dataset. All replicas are built from the same model seed so every
 // algorithm starts from the identical random initialization, as the paper's
 // experimental protocol requires.
+//
+// Memory model (see DESIGN.md): the replica owns a tensor.Workspace for its
+// per-iteration batch buffers, the network's layers own their activation/
+// gradient buffers, and the label/stats/gradient slices below are reused —
+// so a steady-state iteration (pull + forward + backward + stats) performs
+// zero heap allocations. The workspace resets at every pull, which is also
+// the crash-recovery rule: a recovered worker's re-pull rewinds the arena,
+// so a scenario that cancelled an iteration mid-flight cannot leave the
+// next iteration aliased onto stale buffers.
 type replica struct {
 	net     *nn.Sequential
 	bns     []*nn.BatchNorm
@@ -19,6 +29,12 @@ type replica struct {
 	iter    *data.BatchIter
 	ce      nn.SoftmaxCrossEntropy
 	grad    []float64 // reusable flat gradient buffer
+
+	ws       *tensor.Workspace
+	batch    int
+	features int
+	y        []int             // reusable label buffer
+	statsBuf []core.LayerStats // reusable BN statistics view
 }
 
 // newReplica builds a worker replica. modelSeed fixes the initialization;
@@ -26,19 +42,30 @@ type replica struct {
 func newReplica(build func(*rng.RNG) *nn.Sequential, modelSeed uint64, ds *data.Dataset, batch int, dataRng *rng.RNG) *replica {
 	net := build(rng.New(modelSeed))
 	params := net.Params()
+	bns := net.BatchNorms()
 	return &replica{
-		net:     net,
-		bns:     net.BatchNorms(),
-		params:  params,
-		nParams: nn.ParamCount(params),
-		iter:    data.NewBatchIter(ds, batch, dataRng),
-		grad:    make([]float64, nn.ParamCount(params)),
+		net:      net,
+		bns:      bns,
+		params:   params,
+		nParams:  nn.ParamCount(params),
+		iter:     data.NewBatchIter(ds, batch, dataRng),
+		grad:     make([]float64, nn.ParamCount(params)),
+		ws:       tensor.NewWorkspace(),
+		batch:    batch,
+		features: ds.Features(),
+		y:        make([]int, batch),
+		statsBuf: core.CollectStatsInto(nil, bns),
 	}
 }
 
 // pull installs the server's weights and global BN statistics, the worker
-// side of Algorithm 1 lines 1–2.
+// side of Algorithm 1 lines 1–2. It also resets the replica's workspace:
+// every iteration starts from a rewound arena, so the same buffers replay
+// in the same order — and a crash-recovery re-pull (the engine drains the
+// orphaned lane task first) cannot alias the recovered iteration onto the
+// cancelled one's buffers.
 func (r *replica) pull(w []float64, bnAcc *core.BNAccumulator) {
+	r.ws.Reset()
 	nn.UnflattenValues(r.params, w)
 	bnAcc.Apply(r.bns)
 }
@@ -47,9 +74,10 @@ func (r *replica) pull(w []float64, bnAcc *core.BNAccumulator) {
 // mode, returning the batch loss (Algorithm 1 line 4). BN layers capture
 // their batch statistics as a side effect (lines 6–7).
 func (r *replica) forward() float64 {
-	x, y := r.iter.Next()
+	x := r.ws.Get(r.batch, r.features)
+	r.iter.NextInto(x, r.y)
 	out := r.net.Forward(x, true)
-	return r.ce.Forward(out, y)
+	return r.ce.Forward(out, r.y)
 }
 
 // backward runs backpropagation seeded with the given scale (Formula 5's
@@ -69,7 +97,9 @@ func (r *replica) gradient() (float64, []float64) {
 	return loss, r.backward(1)
 }
 
-// stats returns the batch-normalization statistics of the last forward.
+// stats returns the batch-normalization statistics of the last forward,
+// refreshed in place into the replica's reused view.
 func (r *replica) stats() []core.LayerStats {
-	return core.CollectStats(r.bns)
+	r.statsBuf = core.CollectStatsInto(r.statsBuf, r.bns)
+	return r.statsBuf
 }

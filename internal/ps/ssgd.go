@@ -26,6 +26,7 @@ type ssgdStrategy struct {
 	members map[int]bool // launched into the round, arrival still outstanding
 	arrived []int
 	pending []int // admitted mid-round, start at the next boundary
+	restart []int // closeRound's relaunch scratch (arrivals + parked admits)
 	waits   []func()
 	avg     []float64
 }
@@ -101,7 +102,6 @@ func (s *ssgdStrategy) arrive(e *Engine, m int) {
 func (s *ssgdStrategy) closeRound(e *Engine) {
 	s.inRound = false
 	arr := s.arrived
-	s.arrived = nil
 	sort.Ints(arr)
 	if len(arr) > 0 {
 		for i := range s.avg {
@@ -120,10 +120,16 @@ func (s *ssgdStrategy) closeRound(e *Engine) {
 		}
 		e.Apply(s.avg, len(arr))
 	}
-	next := append(arr, s.pending...)
-	s.pending = nil
-	sort.Ints(next)
-	for _, m := range next {
+	// Relaunch the arrivals plus parked admits from a reused scratch; the
+	// arrived/pending slices are recycled for the next round (the arrival
+	// events that refill them fire strictly after this call returns).
+	s.restart = s.restart[:0]
+	s.restart = append(s.restart, arr...)
+	s.restart = append(s.restart, s.pending...)
+	s.arrived = s.arrived[:0]
+	s.pending = s.pending[:0]
+	sort.Ints(s.restart)
+	for _, m := range s.restart {
 		e.Relaunch(m)
 	}
 }

@@ -117,8 +117,26 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if b.Shape[0] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, b.Shape[0]))
 	}
+	out := New(m, b.Shape[1])
+	matMulTransA(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b into a preallocated dst, the
+// weight-gradient kernel of the zero-allocation backward pass. dst must not
+// alias a or b.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k || dst.Shape[0] != m || dst.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shapes dst%v a%v b%v", dst.Shape, a.Shape, b.Shape))
+	}
+	dst.Zero()
+	matMulTransA(dst, a, b)
+}
+
+func matMulTransA(out, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
-	out := New(m, n)
 	// out[i][j] = sum_p a[p][i] * b[p][j]; stream over p for locality.
 	for p := 0; p < k; p++ {
 		arow := a.Data[p*m : (p+1)*m]
@@ -133,18 +151,34 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulTransB returns a @ bᵀ without materializing the transpose of b.
 // a has shape [m, k] and b has shape [n, k].
 func MatMulTransB(a, b *Tensor) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
-	n := b.Shape[0]
 	if b.Shape[1] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, b.Shape[1]))
 	}
-	out := New(m, n)
+	out := New(m, b.Shape[0])
+	matMulTransB(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ into a preallocated dst — the
+// input-gradient kernel. dst must not alias a or b. Every element of dst is
+// assigned, so no zeroing is needed.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	if b.Shape[1] != k || dst.Shape[0] != m || dst.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shapes dst%v a%v b%v", dst.Shape, a.Shape, b.Shape))
+	}
+	matMulTransB(dst, a, b)
+}
+
+func matMulTransB(out, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
@@ -157,5 +191,4 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			orow[j] = s
 		}
 	}
-	return out
 }

@@ -115,15 +115,29 @@ func RowSum(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: RowSum needs rank 2, got shape %v", a.Shape))
 	}
+	out := New(a.Shape[1])
+	rowSum(out, a)
+	return out
+}
+
+// RowSumInto computes the per-column sum of the 2-D tensor a into the
+// preallocated dst of shape [c]. dst is zeroed first.
+func RowSumInto(dst, a *Tensor) {
+	if a.Rank() != 2 || dst.Len() != a.Shape[1] {
+		panic(fmt.Sprintf("tensor: RowSumInto shapes dst%v a%v", dst.Shape, a.Shape))
+	}
+	dst.Zero()
+	rowSum(dst, a)
+}
+
+func rowSum(out, a *Tensor) {
 	r, c := a.Shape[0], a.Shape[1]
-	out := New(c)
 	for i := 0; i < r; i++ {
 		row := a.Data[i*c : (i+1)*c]
 		for j, v := range row {
 			out.Data[j] += v
 		}
 	}
-	return out
 }
 
 // AddRowVector computes dst = a + broadcast(v) where v has shape [c] and a
@@ -178,8 +192,20 @@ func ArgmaxRows(a *Tensor) []int {
 	if a.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: ArgmaxRows needs rank 2, got %v", a.Shape))
 	}
+	out := make([]int, a.Shape[0])
+	ArgmaxRowsInto(out, a)
+	return out
+}
+
+// ArgmaxRowsInto writes each row's argmax into the preallocated dst, which
+// must have exactly one slot per row — the allocation-free variant the
+// evaluation shards reuse across batches.
+func ArgmaxRowsInto(dst []int, a *Tensor) {
+	if a.Rank() != 2 || len(dst) != a.Shape[0] {
+		panic(fmt.Sprintf("tensor: ArgmaxRowsInto dst len %d for shape %v", len(dst), a.Shape))
+	}
 	r, c := a.Shape[0], a.Shape[1]
-	out := make([]int, r)
+	out := dst
 	for i := 0; i < r; i++ {
 		row := a.Data[i*c : (i+1)*c]
 		best, bestj := row[0], 0
@@ -190,7 +216,6 @@ func ArgmaxRows(a *Tensor) []int {
 		}
 		out[i] = bestj
 	}
-	return out
 }
 
 // ClipInPlace clamps every element of t into [-limit, limit]. Gradient

@@ -1,0 +1,116 @@
+package tensor
+
+import "testing"
+
+func TestWorkspaceReuseAfterReset(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(2, 3)
+	b := ws.Get(2, 3)
+	if a == b {
+		t.Fatal("two Gets of the same shape before Reset must be distinct buffers")
+	}
+	c := ws.Get(4)
+	ws.Reset()
+	a2 := ws.Get(2, 3)
+	b2 := ws.Get(2, 3)
+	c2 := ws.Get(4)
+	if a2 != a || b2 != b || c2 != c {
+		t.Fatal("Gets after Reset must replay the same buffers in order")
+	}
+}
+
+func TestWorkspaceGeneration(t *testing.T) {
+	ws := NewWorkspace()
+	if ws.Generation() != 0 {
+		t.Fatalf("fresh workspace generation %d", ws.Generation())
+	}
+	ws.Get(1)
+	if ws.Live() != 1 {
+		t.Fatalf("live %d after one Get", ws.Live())
+	}
+	ws.Reset()
+	ws.Reset()
+	if ws.Generation() != 2 {
+		t.Fatalf("generation %d after two Resets", ws.Generation())
+	}
+	if ws.Live() != 0 {
+		t.Fatalf("live %d after Reset", ws.Live())
+	}
+}
+
+func TestWorkspaceSteadyStateZeroAlloc(t *testing.T) {
+	ws := NewWorkspace()
+	iter := func() {
+		ws.Reset()
+		ws.Get(8, 8)
+		ws.Get(8, 8)
+		ws.Get(16)
+	}
+	iter() // warm the arena
+	if allocs := testing.AllocsPerRun(50, iter); allocs != 0 {
+		t.Fatalf("steady-state workspace iteration allocates %v times", allocs)
+	}
+}
+
+func TestWorkspaceRankLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on rank > 4")
+		}
+	}()
+	NewWorkspace().Get(1, 1, 1, 1, 1)
+}
+
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	a := New(3, 4)
+	b := New(3, 5)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) - 3
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i%5) - 2
+	}
+
+	want := MatMulTransA(a, b) // [4,5]
+	got := New(4, 5)
+	got.Fill(9) // poison: Into must fully overwrite
+	MatMulTransAInto(got, a, b)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("MatMulTransAInto[%d] %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	d := New(6, 4)
+	for i := range d.Data {
+		d.Data[i] = float64(i%4) - 2
+	}
+	wantB := MatMulTransB(a, d) // [3,6]
+	gotB := New(3, 6)
+	gotB.Fill(9)
+	MatMulTransBInto(gotB, a, d)
+	for i := range wantB.Data {
+		if wantB.Data[i] != gotB.Data[i] {
+			t.Fatalf("MatMulTransBInto[%d] %v != %v", i, gotB.Data[i], wantB.Data[i])
+		}
+	}
+
+	wantS := RowSum(a)
+	gotS := New(4)
+	gotS.Fill(9)
+	RowSumInto(gotS, a)
+	for i := range wantS.Data {
+		if wantS.Data[i] != gotS.Data[i] {
+			t.Fatalf("RowSumInto[%d] %v != %v", i, gotS.Data[i], wantS.Data[i])
+		}
+	}
+
+	wantM := ArgmaxRows(a)
+	gotM := make([]int, 3)
+	ArgmaxRowsInto(gotM, a)
+	for i := range wantM {
+		if wantM[i] != gotM[i] {
+			t.Fatalf("ArgmaxRowsInto[%d] %v != %v", i, gotM[i], wantM[i])
+		}
+	}
+}
