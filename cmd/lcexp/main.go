@@ -19,13 +19,24 @@
 // any experiment starts, instead of failing halfway through.
 //
 // -full switches from the quick CPU-budget profiles to the paper-scale
-// ones; -seeds averages headline tables over several seeds; -csv emits the
-// series as CSV instead of charts; -parallel fans worker compute across
-// goroutines (bit-identical results, faster wall-clock on multi-core);
-// -scenario replays a canned cluster-event timeline (congestion windows,
-// crashes/recoveries, elastic resizes) under every experiment;
-// -cpuprofile/-memprofile write pprof profiles of the whole run so perf
-// work can attach evidence (go tool pprof lcexp cpu.out).
+// ones; -seeds averages headline tables (tab1 and robust) over several
+// seeds; -csv emits the series as CSV instead of charts; -parallel fans
+// worker compute across goroutines (bit-identical results, faster
+// wall-clock on multi-core); -scenario replays a canned cluster-event
+// timeline (congestion windows, crashes/recoveries, elastic resizes,
+// network partitions) under every experiment; -cpuprofile/-memprofile
+// write pprof profiles of the whole run so perf work can attach evidence
+// (go tool pprof lcexp cpu.out).
+//
+// Persistence: -ckpt-dir opens an on-disk experiment store; every run
+// persists its config, a checkpoint at each -ckpt-every epoch barrier, its
+// learning curve and its final result, content-addressed by configuration.
+// A killed invocation re-run with -resume skips completed runs and resumes
+// interrupted ones from their last checkpoint, bit-identically — which is
+// what makes the paper-scale `-full -exp robust` sweep feasible on
+// preemptible runners. -recover-opt adds robustness-table variant rows
+// where a crash-recovered worker restores its state from the last
+// checkpoint instead of re-pulling fresh (the lost-momentum study).
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 
 	"lcasgd/internal/ps"
 	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
 	"lcasgd/internal/trainer"
 )
 
@@ -52,7 +64,7 @@ func main() {
 		exp      = flag.String("exp", "all", "comma-separated experiment ids: fig2..fig8, tab1..tab3, robust, all")
 		workers  = flag.Int("workers", 0, "restrict figure panels to one worker count (0 = all of 4,8,16)")
 		full     = flag.Bool("full", false, "use the paper-scale profiles (slow) instead of quick ones")
-		seeds    = flag.Int("seeds", 1, "number of seeds to average in tab1")
+		seeds    = flag.Int("seeds", 1, "number of seeds to average in tab1 and robust (mean ± spread rows)")
 		seed     = flag.Uint64("seed", 7, "base random seed")
 		csv      = flag.Bool("csv", false, "emit figure series as CSV tables instead of ASCII charts")
 		parallel = flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical, multi-core)")
@@ -60,6 +72,10 @@ func main() {
 			fmt.Sprintf("cluster-event timeline for every run: %s", strings.Join(scenario.Names(), ", ")))
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		ckptDir    = flag.String("ckpt-dir", "", "experiment store directory: every run persists its config, checkpoints and result there")
+		ckptEvery  = flag.Int("ckpt-every", 1, "checkpoint barrier cadence in epochs for persisted runs (with -ckpt-dir)")
+		resume     = flag.Bool("resume", false, "with -ckpt-dir: skip completed runs, resume interrupted ones from their last checkpoint")
+		recoverOpt = flag.Bool("recover-opt", false, "robust: add variant rows where recovered workers restore the last checkpoint instead of pulling fresh state")
 	)
 	flag.Parse()
 
@@ -71,6 +87,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
 		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "lcexp: -resume requires -ckpt-dir (nowhere to resume from)")
+		os.Exit(2)
+	}
+	if *ckptEvery <= 0 && *ckptDir != "" {
+		fmt.Fprintln(os.Stderr, "lcexp: -ckpt-every must be positive with -ckpt-dir")
+		os.Exit(2)
+	}
+	var store *snapshot.Store
+	if *ckptDir != "" {
+		store, err = snapshot.OpenStore(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -113,6 +145,13 @@ func main() {
 	if sc.Name != "none" {
 		cifar.Scenario = &sc
 		imagenet.Scenario = &sc
+	}
+	if store != nil {
+		for _, p := range []*trainer.Profile{&cifar, &imagenet} {
+			p.Store = store
+			p.CkptEvery = *ckptEvery
+			p.Resume = *resume
+		}
 	}
 	ms := trainer.WorkerCounts
 	if *workers != 0 {
@@ -175,8 +214,15 @@ func main() {
 				m = *workers
 			}
 			fmt.Printf("== Robustness: algorithms × cluster scenarios (%s, M=%d) ==\n", cifar.Name, m)
-			rows := trainer.Robustness(cifar, m, *seed, scenario.Canned())
+			opts := trainer.RobustnessOpts{Seeds: *seeds, RecoverOpt: *recoverOpt}
+			rows := trainer.Robustness(cifar, m, *seed, scenario.Canned(), opts)
 			tb := trainer.RenderRobustness(cifar, m, rows)
+			if store != nil {
+				if err := store.SaveTable("robustness", rows, tb.String()); err != nil {
+					fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
+					os.Exit(1)
+				}
+			}
 			if *csv {
 				fmt.Println(tb.CSV())
 			} else {

@@ -31,10 +31,20 @@
 //
 // On top of the stationary cluster model, internal/scenario defines
 // deterministic timelines of cluster events — congestion phase shifts,
-// worker crashes and recoveries, elastic fleet resizes — which the engine
-// replays on the simulated clock (cmd/lcexp -scenario); the robustness
-// experiment (-exp robust) compares every distributed algorithm across
-// every canned scenario.
+// worker crashes and recoveries, elastic fleet resizes, network
+// partitions — which the engine replays on the simulated clock (cmd/lcexp
+// -scenario); the robustness experiment (-exp robust) compares every
+// distributed algorithm across every canned scenario.
+//
+// # Run persistence
+//
+// internal/snapshot plus the engine's checkpoint barriers
+// (ps.Config.CheckpointEvery) freeze a live run at quiescent eval
+// boundaries and restore it float-bit-identically: a run is the same run
+// whether it executes in one process or across any number of
+// checkpoint/resume cycles, on either backend. The on-disk experiment
+// store (cmd/lcexp -ckpt-dir -resume) makes killed sweeps continue
+// without redoing completed runs. See DESIGN.md "Persistence & resume".
 //
 // ROADMAP.md's Architecture section documents the invariants behind the
 // bit-identical guarantee and the recipe for adding more algorithms.

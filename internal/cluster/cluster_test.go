@@ -6,7 +6,10 @@ import (
 	"testing"
 	"testing/quick"
 
+	"bytes"
+
 	"lcasgd/internal/rng"
+	"lcasgd/internal/snapshot"
 )
 
 func TestCostModelValidate(t *testing.T) {
@@ -277,5 +280,46 @@ func TestRunWorkersWaits(t *testing.T) {
 	})
 	if done != 5 {
 		t.Fatalf("RunWorkers returned before all workers finished: %d", done)
+	}
+}
+
+// TestSamplerSnapshotRoundTrip pins cost-stream resume: a restored sampler
+// draws the same future costs — including scenario phase multipliers — as
+// the one that wrote the snapshot.
+func TestSamplerSnapshotRoundTrip(t *testing.T) {
+	model := CIFARCostModel()
+	a := model.NewSampler(4, rng.New(3))
+	a.SetPhase(2, 3)
+	a.SetWorkerPhase(1, 0.5, 4)
+	for i := 0; i < 25; i++ {
+		a.Comp(i % 4)
+		a.Comm(i % 4)
+	}
+
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	a.SnapshotTo(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := model.NewSampler(4, rng.New(3)) // same construction, stale position/phases
+	r, err := snapshot.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		m := i % 4
+		if ca, cb := a.Comp(m), b.Comp(m); ca != cb {
+			t.Fatalf("comp draw %d differs: %x vs %x", i, ca, cb)
+		}
+		if ca, cb := a.Comm(m), b.Comm(m); ca != cb {
+			t.Fatalf("comm draw %d differs: %x vs %x", i, ca, cb)
+		}
 	}
 }

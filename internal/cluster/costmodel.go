@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"lcasgd/internal/rng"
+	"lcasgd/internal/snapshot"
 )
 
 // CostModel describes the timing distributions of a simulated cluster, in
@@ -155,6 +156,38 @@ func (s *Sampler) Comm(m int) float64 {
 		return 0
 	}
 	return s.phaseComm * s.wPhaseComm[m] * s.mult[m] * s.g.LogNormal(s.muComm, s.model.Sigma)
+}
+
+// SnapshotTo serializes the sampler's mutable state: the draw stream's
+// position and the phase multipliers a scenario has installed. The fixed
+// per-worker speed multipliers and the lognormal parameters are derived
+// from the cost model at construction and are not stored — a restored
+// sampler is always built from the identical configuration first.
+func (s *Sampler) SnapshotTo(w *snapshot.Writer) {
+	st := s.g.State()
+	w.U64s(st[:])
+	w.F64(s.phaseComp)
+	w.F64(s.phaseComm)
+	w.F64s(s.wPhaseComp)
+	w.F64s(s.wPhaseComm)
+}
+
+// RestoreFrom loads state written by SnapshotTo into a sampler constructed
+// for the same worker count.
+func (s *Sampler) RestoreFrom(r *snapshot.Reader) error {
+	st := r.U64s()
+	if r.Err() == nil && len(st) != 4 {
+		r.Fail(fmt.Errorf("cluster: sampler snapshot has %d rng words, want 4", len(st)))
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	s.g.SetState([4]uint64{st[0], st[1], st[2], st[3]})
+	s.phaseComp = r.F64()
+	s.phaseComm = r.F64()
+	r.F64sInto(s.wPhaseComp)
+	r.F64sInto(s.wPhaseComm)
+	return r.Err()
 }
 
 // Multiplier exposes worker m's fixed speed multiplier (used by tests and

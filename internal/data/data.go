@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"lcasgd/internal/rng"
+	"lcasgd/internal/snapshot"
 	"lcasgd/internal/tensor"
 )
 
@@ -224,6 +225,44 @@ func (it *BatchIter) NextInto(x *tensor.Tensor, y []int) {
 
 // BatchesPerEpoch returns how many batches one pass over the data yields.
 func (it *BatchIter) BatchesPerEpoch() int { return it.ds.Len() / it.size }
+
+// SnapshotTo serializes the iterator's exact position: the shuffle RNG
+// state, the current permutation, the cursor, and the epoch counter. A
+// restored iterator yields the same remaining batches — and the same future
+// reshuffles — as the original, which is what position-exact resume of a
+// worker's private batch order requires.
+func (it *BatchIter) SnapshotTo(w *snapshot.Writer) {
+	st := it.g.State()
+	w.U64s(st[:])
+	w.Ints(it.order)
+	w.Int(it.pos)
+	w.Int(it.Epoch)
+}
+
+// RestoreFrom loads a position written by SnapshotTo into an iterator built
+// over the same dataset and batch size.
+func (it *BatchIter) RestoreFrom(r *snapshot.Reader) error {
+	st := r.U64s()
+	order := r.Ints()
+	pos := r.Int()
+	epoch := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(st) != 4 {
+		r.Fail(fmt.Errorf("data: iterator snapshot has %d rng words, want 4", len(st)))
+		return r.Err()
+	}
+	if len(order) != len(it.order) || pos < 0 || pos > len(order) {
+		r.Fail(fmt.Errorf("data: iterator snapshot order %d/pos %d for dataset of %d", len(order), pos, len(it.order)))
+		return r.Err()
+	}
+	it.g.SetState([4]uint64{st[0], st[1], st[2], st[3]})
+	copy(it.order, order)
+	it.pos = pos
+	it.Epoch = epoch
+	return nil
+}
 
 // Partition splits a dataset into m disjoint contiguous shards. Because
 // Generate lays samples out class-cyclically, contiguous blocks stay

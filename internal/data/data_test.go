@@ -4,7 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"bytes"
+
 	"lcasgd/internal/rng"
+	"lcasgd/internal/snapshot"
 	"lcasgd/internal/tensor"
 )
 
@@ -246,5 +249,84 @@ func TestNextIntoZeroAllocSteadyState(t *testing.T) {
 	// Spans epoch wraps: the in-place reshuffle must not allocate either.
 	if a := testing.AllocsPerRun(20, func() { it.NextInto(x, y) }); a != 0 {
 		t.Fatalf("steady-state NextInto allocates %v times, want 0", a)
+	}
+}
+
+// TestBatchIterSnapshotRoundTrip pins position-exact resume of a worker's
+// private batch order: a restored iterator yields the same remaining
+// batches — across a reshuffle boundary — as the one that wrote the
+// snapshot.
+func TestBatchIterSnapshotRoundTrip(t *testing.T) {
+	cfg := CIFARConfig()
+	cfg.Train, cfg.Test = 100, 20
+	ds, _ := Generate(cfg)
+	a := NewBatchIter(ds, 30, rng.New(11))
+	x := tensor.New(30, ds.Features())
+	y := make([]int, 30)
+	for i := 0; i < 5; i++ { // crosses an epoch wrap (100/30)
+		a.NextInto(x, y)
+	}
+
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	a.SnapshotTo(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatchIter(ds, 30, rng.New(99)) // different seed: all state restored
+	r, err := snapshot.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch != a.Epoch {
+		t.Fatalf("epoch %d vs %d", b.Epoch, a.Epoch)
+	}
+
+	x2 := tensor.New(30, ds.Features())
+	y2 := make([]int, 30)
+	for i := 0; i < 10; i++ { // several more wraps: the shuffle RNG must match too
+		a.NextInto(x, y)
+		b.NextInto(x2, y2)
+		for j := range y {
+			if y[j] != y2[j] {
+				t.Fatalf("batch %d label %d differs: %d vs %d", i, j, y[j], y2[j])
+			}
+		}
+		for j, v := range x.Data {
+			if x2.Data[j] != v {
+				t.Fatalf("batch %d pixel %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestBatchIterRestoreRejectsMismatch ensures a snapshot from a different
+// dataset size cannot be loaded.
+func TestBatchIterRestoreRejectsMismatch(t *testing.T) {
+	cfg := CIFARConfig()
+	cfg.Train, cfg.Test = 100, 20
+	ds, _ := Generate(cfg)
+	a := NewBatchIter(ds, 10, rng.New(1))
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	a.SnapshotTo(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Train = 60
+	ds2, _ := Generate(cfg)
+	b := NewBatchIter(ds2, 10, rng.New(1))
+	r, err := snapshot.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFrom(r); err == nil {
+		t.Fatal("mismatched dataset size accepted")
 	}
 }

@@ -1,10 +1,12 @@
 package lstm
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"lcasgd/internal/rng"
+	"lcasgd/internal/snapshot"
 )
 
 // cellLoss runs one forward step and returns Σh + Σc, the scalar whose
@@ -296,5 +298,74 @@ func BenchmarkPredictAhead8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.PredictAhead([]float64{0.5}, 8, func(o float64) []float64 { return []float64{o} })
+	}
+}
+
+// TestNetworkSnapshotRoundTrip pins the predictor-resume contract: a
+// network restored from a snapshot continues training and predicting
+// bit-identically to the network that wrote it.
+func TestNetworkSnapshotRoundTrip(t *testing.T) {
+	build := func() *Network {
+		n := NewNetwork(2, []int{6, 6}, rng.New(42))
+		n.Window = 5
+		n.LR = 0.1
+		return n
+	}
+	a := build()
+	in := func(i int) []float64 { return []float64{float64(i) * 0.1, float64(i%3) - 1} }
+	for i := 0; i < 9; i++ {
+		a.TrainStep(in(i), float64(i%4)*0.25)
+	}
+
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	a.SnapshotTo(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := build() // fresh weights, fresh window — all overwritten by restore
+	r, err := snapshot.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both copies must now evolve identically, bit for bit.
+	for i := 9; i < 20; i++ {
+		la := a.TrainStep(in(i), float64(i%4)*0.25)
+		lb := b.TrainStep(in(i), float64(i%4)*0.25)
+		if la != lb {
+			t.Fatalf("step %d: window loss diverged %x vs %x", i, la, lb)
+		}
+		probe := []float64{0.5, -0.5}
+		if pa, pb := a.Predict(probe), b.Predict(probe); pa != pb {
+			t.Fatalf("step %d: prediction diverged %x vs %x", i, pa, pb)
+		}
+	}
+}
+
+// TestNetworkRestoreRejectsShapeMismatch ensures a snapshot cannot be
+// loaded into a different architecture.
+func TestNetworkRestoreRejectsShapeMismatch(t *testing.T) {
+	a := NewNetwork(2, []int{6, 6}, rng.New(42))
+	a.TrainStep([]float64{1, 2}, 0.5)
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	a.SnapshotTo(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewNetwork(2, []int{4, 4}, rng.New(42))
+	r, err := snapshot.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFrom(r); err == nil {
+		t.Fatal("shape mismatch accepted")
 	}
 }

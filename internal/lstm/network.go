@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lcasgd/internal/rng"
+	"lcasgd/internal/snapshot"
 )
 
 // Network is a stack of LSTM cells with a scalar linear head — the
@@ -311,3 +312,67 @@ func (n *Network) PredictAhead(input []float64, k int, feedback func(out float64
 
 // WindowLen returns the number of pairs currently in the training window.
 func (n *Network) WindowLen() int { return n.count }
+
+// SnapshotTo serializes everything that survives across online-training
+// calls: every cell's packed weights, the linear head, and the sliding
+// window (inputs, targets, fill count). Recurrent states and BPTT scratch
+// are deliberately excluded — forwardWindow re-derives them from zero state
+// on every call, so they carry no information between calls.
+func (n *Network) SnapshotTo(w *snapshot.Writer) {
+	w.Int(len(n.Cells))
+	for _, c := range n.Cells {
+		w.Int(c.X)
+		w.Int(c.H)
+		w.F64s(c.Wx)
+		w.F64s(c.Wh)
+		w.F64s(c.B)
+	}
+	w.F64s(n.HeadW)
+	w.F64(n.HeadB)
+	w.Int(n.count)
+	for t := 0; t < n.count; t++ {
+		w.F64s(n.rows[t])
+		w.F64(n.targets[t])
+	}
+}
+
+// RestoreFrom loads a snapshot written by SnapshotTo into a network of the
+// identical architecture (same layer stack and sizes — the restore target
+// is always freshly built from the run configuration). A shape mismatch is
+// reported through the reader's sticky error.
+func (n *Network) RestoreFrom(r *snapshot.Reader) error {
+	if cells := r.Int(); cells != len(n.Cells) {
+		r.Fail(fmt.Errorf("lstm: snapshot has %d cells, network has %d", cells, len(n.Cells)))
+		return r.Err()
+	}
+	for _, c := range n.Cells {
+		x, h := r.Int(), r.Int()
+		if r.Err() == nil && (x != c.X || h != c.H) {
+			r.Fail(fmt.Errorf("lstm: snapshot cell %dx%d, network cell %dx%d", x, h, c.X, c.H))
+			return r.Err()
+		}
+		r.F64sInto(c.Wx)
+		r.F64sInto(c.Wh)
+		r.F64sInto(c.B)
+	}
+	r.F64sInto(n.HeadW)
+	n.HeadB = r.F64()
+	count := r.Int()
+	if r.Err() == nil && (count < 0 || count > n.Window) {
+		r.Fail(fmt.Errorf("lstm: snapshot window fill %d exceeds window %d", count, n.Window))
+		return r.Err()
+	}
+	n.count = 0
+	for t := 0; t < count && r.Err() == nil; t++ {
+		row := r.F64s()
+		target := r.F64()
+		if r.Err() == nil && len(row) != n.InputSize() {
+			r.Fail(fmt.Errorf("lstm: snapshot row width %d, want %d", len(row), n.InputSize()))
+			return r.Err()
+		}
+		if r.Err() == nil {
+			n.Observe(row, target)
+		}
+	}
+	return r.Err()
+}

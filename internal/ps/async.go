@@ -29,7 +29,10 @@ func (s *asyncStrategy) Setup(e *Engine) {
 func (s *asyncStrategy) Launch(e *Engine, m int) {
 	e.Pull(m)
 	if s.dc {
-		copy(s.wbak[m], e.Weights())
+		// Back up the weights the gradient will be computed at — the
+		// replica's just-pulled parameters, which under RecoverOpt may be
+		// the last checkpoint's snapshot rather than the live server state.
+		e.CopyPulledWeights(m, s.wbak[m])
 	}
 	wait := e.DispatchGradient(m)
 	dur := e.CommSample(m) + e.CompSample(m) + e.CommSample(m)

@@ -1,0 +1,377 @@
+package ps
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
+)
+
+// This file is the engine's run-persistence layer: freezing a live run at a
+// quiescent checkpoint barrier and restoring it to a state that replays the
+// remainder float-bit-identically.
+//
+// The barrier discipline is what makes that possible. Closures on the event
+// queue cannot be serialized, so the engine never tries: when the server
+// crosses a Config.CheckpointEvery epoch boundary, launches are deferred
+// instead of started, the in-flight worker pipelines drain to completion
+// (commits land at their natural times), and the snapshot is taken at the
+// exact moment nothing remains on the clock but armed scenario events —
+// which are plain data and re-arm verbatim on resume. The deferred launches
+// are recorded, and both the uninterrupted run and the resumed run re-arm
+// them identically right after the barrier, so the two timelines are the
+// same timeline.
+//
+// Consequently the barrier is part of the run's definition: a run with
+// CheckpointEvery=k pauses pipelining at every k-th epoch boundary exactly
+// like a real synchronous-checkpoint system does, and its results are
+// bit-identical whether it runs straight through or is killed and resumed
+// at any barrier — but they differ (deterministically) from a run with no
+// barriers. ConfigKey therefore includes CheckpointEvery.
+
+// Checkpoint is one frozen quiescent state, produced by the engine at each
+// barrier and consumed by Resume.
+type Checkpoint struct {
+	Epoch     int     // completed global epochs at the barrier
+	Batches   int     // mini-batches consumed
+	Updates   int     // server updates applied
+	VirtualMs float64 // virtual time of the barrier
+	Data      []byte  // codec stream; opaque outside this package
+}
+
+// ConfigKey returns the content key identifying a run: the hex SHA-256 of
+// the canonical (defaults-applied) configuration. Everything that shapes
+// the trajectory is included — algorithm, seed, scenario, checkpoint
+// cadence — while the execution backend is excluded, because backends are
+// bit-identical by construction: a run may checkpoint on the sequential
+// backend and resume on the concurrent one. The experiment store addresses
+// run directories by this key, and every checkpoint embeds it so a snapshot
+// cannot be restored into a different experiment.
+func ConfigKey(cfg Config) string {
+	c := cfg.withDefaults()
+	c.Backend = ""
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("ps: marshal config: %v", err)) // plain data struct; cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// StrategySnapshotter is an optional Strategy refinement for algorithms
+// that carry server-side state across iterations (LC-ASGD's predictors and
+// iter log). SnapshotState is called at a quiescent barrier, after Setup
+// has built the strategy's structures; RestoreState is called on a freshly
+// Setup strategy and must leave it exactly as the snapshotting one was.
+// Strategies whose cross-iteration state is provably empty at quiescence
+// (SSGD's barrier bookkeeping) need not implement it — or may implement it
+// as an emptiness assertion.
+type StrategySnapshotter interface {
+	SnapshotState(e *Engine, w *snapshot.Writer)
+	RestoreState(e *Engine, r *snapshot.Reader) error
+}
+
+// Resume rebuilds the engine for env, restores the checkpoint payload, and
+// runs the remainder of the training run. The result is bit-identical to
+// what the uninterrupted run (same config, same checkpoint cadence) would
+// have returned — curve points and predictor traces include the restored
+// prefix. The checkpoint must have been taken under the same ConfigKey;
+// resuming across backends is allowed.
+func Resume(env Env, ckpt []byte) (Result, error) {
+	cfg := env.Cfg.withDefaults()
+	env.Cfg = cfg
+	if env.Train == nil || env.Test == nil || env.Build == nil {
+		panic("ps: Env requires Train, Test and Build")
+	}
+	if cfg.CheckpointEvery <= 0 {
+		return Result{}, fmt.Errorf("ps: Resume requires Config.CheckpointEvery > 0")
+	}
+	e := newEngine(env, strategyFor(cfg))
+	defer e.backend.Close()
+	e.strategy.Setup(e)
+	if err := e.restore(ckpt); err != nil {
+		return Result{}, fmt.Errorf("ps: resume: %w", err)
+	}
+	e.relaunchDeferred()
+	return e.loop(), nil
+}
+
+// takeCheckpoint runs at the quiescent point of a barrier drain: it drains
+// any orphaned lane tasks (crashed workers whose compute nobody waited on —
+// harmless, but their batch iterators must be stable before serialization),
+// refreshes the RecoverOpt snapshot, hands the serialized state to the
+// sink, and re-arms the launches the drain deferred.
+func (e *Engine) takeCheckpoint() {
+	assertQuiescent(e, "checkpoint")
+	e.quiescing = false
+	e.nextCkpt = (e.srv.epoch()/e.cfg.CheckpointEvery + 1) * e.cfg.CheckpointEvery
+	for m, w := range e.waits {
+		if w != nil {
+			w()
+			e.waits[m] = nil
+		}
+	}
+	if e.cfg.RecoverOpt {
+		e.ckptW = append(e.ckptW[:0], e.srv.w...)
+		e.ckptBN = e.srv.bnAcc.Clone()
+		e.ckptUpdates = e.srv.updates
+	}
+	if e.env.CheckpointSink != nil {
+		ck := Checkpoint{
+			Epoch:     e.srv.epoch(),
+			Batches:   e.srv.batches,
+			Updates:   e.srv.updates,
+			VirtualMs: e.clock.Now(),
+			Data:      e.snapshotBytes(),
+		}
+		if err := e.env.CheckpointSink(ck); err != nil {
+			panic(fmt.Sprintf("ps: checkpoint sink: %v", err))
+		}
+	}
+	e.relaunchDeferred()
+}
+
+// relaunchDeferred re-arms the launches deferred during a barrier drain, in
+// defer order — the identical order on the straight-through and resumed
+// sides of a checkpoint, which keeps the event queue's tie-breaking
+// identical too.
+func (e *Engine) relaunchDeferred() {
+	ds := e.deferred
+	e.deferred = e.deferred[:0]
+	for _, m := range ds {
+		e.deferredSet[m] = false
+	}
+	for _, m := range ds {
+		e.launch(m)
+	}
+}
+
+// snapshotBytes serializes the engine at a quiescent barrier. Worker
+// replicas are deliberately absent: every strategy's Launch begins with
+// Pull, which overwrites the replica's parameters, BN statistics and
+// workspace from server state, so at a boundary where no iteration is in
+// flight the only live per-worker state is the batch iterator position.
+func (e *Engine) snapshotBytes() []byte {
+	assertQuiescent(e, "snapshot")
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	w.String(ConfigKey(e.cfg))
+
+	// Virtual clock.
+	w.F64(e.clock.Now())
+
+	// Parameter server.
+	w.F64s(e.srv.w)
+	w.F64(e.srv.lrScale)
+	w.Int(e.srv.batches)
+	w.Int(e.srv.updates)
+	e.srv.bnAcc.SnapshotTo(w)
+
+	// RNG streams: the run's seed stream (post-Setup position) and the cost
+	// sampler (its own stream plus scenario phase multipliers).
+	st := e.seedRng.State()
+	w.U64s(st[:])
+	e.sampler.SnapshotTo(w)
+
+	// Per-worker state: batch iterator position, fleet membership,
+	// partition/parking flags, staleness snapshot, recover-opt flag.
+	w.Int(len(e.reps))
+	for m, rep := range e.reps {
+		rep.iter.SnapshotTo(w)
+		w.Bool(e.fleet.active[m])
+		w.U64(e.fleet.gen[m])
+		w.Bool(e.fleet.cut[m])
+		w.Bool(e.fleet.parked[m])
+		w.Int(e.snapUpdates[m])
+		w.Bool(e.recoverPend[m])
+	}
+
+	// Run-level accounting.
+	w.Int(e.stalenessSum)
+	w.Int(e.stalenessN)
+	w.Int(e.maxStale)
+	w.Int(e.scnApplied)
+
+	// Learning-curve recorder.
+	w.Int(e.rec.lastEpoch)
+	w.Int(len(e.rec.points))
+	for _, p := range e.rec.points {
+		w.Int(p.Epoch)
+		w.F64(p.Time)
+		w.F64(p.TrainErr)
+		w.F64(p.TestErr)
+	}
+
+	// Armed scenario events, in arm order (ascending id). Re-arming them in
+	// this order on resume reproduces the clock's FIFO tie-breaking: at the
+	// barrier every armed event was scheduled before any deferred relaunch
+	// will be.
+	w.Int(len(e.armed))
+	for _, a := range e.armed {
+		writeScnEvent(w, a.ev)
+	}
+
+	// Launches deferred by the drain.
+	w.Ints(e.deferred)
+
+	// Algorithm-specific server-side state.
+	if ss, ok := e.strategy.(StrategySnapshotter); ok {
+		w.Bool(true)
+		ss.SnapshotState(e, w)
+	} else {
+		w.Bool(false)
+	}
+
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("ps: serialize checkpoint: %v", err)) // in-memory buffer; cannot fail
+	}
+	return buf.Bytes()
+}
+
+// restore loads a snapshot produced by snapshotBytes into a freshly built
+// (and Setup) engine. On success the engine is at the barrier's quiescent
+// point: clock set, scenario events re-armed, deferred launches recorded
+// but not yet re-armed (relaunchDeferred does that, mirroring the
+// straight-through takeCheckpoint).
+func (e *Engine) restore(data []byte) error {
+	r, err := snapshot.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if key := r.String(); r.Err() == nil && key != ConfigKey(e.cfg) {
+		return fmt.Errorf("checkpoint was taken under a different configuration (key %.16s…, want %.16s…)",
+			key, ConfigKey(e.cfg))
+	}
+
+	now := r.F64()
+
+	r.F64sInto(e.srv.w)
+	e.srv.lrScale = r.F64()
+	e.srv.batches = r.Int()
+	e.srv.updates = r.Int()
+	if err := e.srv.bnAcc.RestoreFrom(r); err != nil {
+		return err
+	}
+
+	seedState := r.U64s()
+	if r.Err() == nil && len(seedState) != 4 {
+		return fmt.Errorf("seed stream snapshot has %d words", len(seedState))
+	}
+	if r.Err() == nil {
+		e.seedRng.SetState([4]uint64{seedState[0], seedState[1], seedState[2], seedState[3]})
+	}
+	if err := e.sampler.RestoreFrom(r); err != nil {
+		return err
+	}
+
+	if workers := r.Int(); r.Err() == nil && workers != len(e.reps) {
+		return fmt.Errorf("checkpoint has %d workers, engine has %d", workers, len(e.reps))
+	}
+	for m, rep := range e.reps {
+		if err := rep.iter.RestoreFrom(r); err != nil {
+			return err
+		}
+		e.fleet.active[m] = r.Bool()
+		e.fleet.gen[m] = r.U64()
+		e.fleet.cut[m] = r.Bool()
+		e.fleet.parked[m] = r.Bool()
+		e.snapUpdates[m] = r.Int()
+		e.recoverPend[m] = r.Bool()
+	}
+
+	e.stalenessSum = r.Int()
+	e.stalenessN = r.Int()
+	e.maxStale = r.Int()
+	e.scnApplied = r.Int()
+
+	e.rec.lastEpoch = r.Int()
+	nPoints := r.Int()
+	if r.Err() == nil && (nPoints < 0 || nPoints > e.srv.batches+1) {
+		return fmt.Errorf("checkpoint has implausible %d curve points", nPoints)
+	}
+	e.rec.points = e.rec.points[:0]
+	for i := 0; i < nPoints && r.Err() == nil; i++ {
+		e.rec.points = append(e.rec.points, Point{
+			Epoch: r.Int(), Time: r.F64(), TrainErr: r.F64(), TestErr: r.F64(),
+		})
+	}
+
+	nArmed := r.Int()
+	if r.Err() == nil && (nArmed < 0 || nArmed > 1<<20) {
+		return fmt.Errorf("checkpoint has implausible %d armed events", nArmed)
+	}
+	armed := make([]scenario.Event, 0, nArmed)
+	for i := 0; i < nArmed && r.Err() == nil; i++ {
+		armed = append(armed, readScnEvent(r))
+	}
+
+	deferred := r.Ints()
+	for _, m := range deferred {
+		if m < 0 || m >= len(e.reps) {
+			return fmt.Errorf("checkpoint defers launch of worker %d of %d", m, len(e.reps))
+		}
+	}
+
+	hasStrategy := r.Bool()
+	ss, wantStrategy := e.strategy.(StrategySnapshotter)
+	if r.Err() == nil && hasStrategy != wantStrategy {
+		return fmt.Errorf("checkpoint strategy-state presence %v, strategy expects %v", hasStrategy, wantStrategy)
+	}
+	if hasStrategy && r.Err() == nil {
+		if err := ss.RestoreState(e, r); err != nil {
+			return err
+		}
+	}
+
+	if err := r.Close(); err != nil {
+		return err
+	}
+
+	// Everything decoded and verified; now mutate the live engine pieces
+	// that need ordering: clock first, then re-arm the scenario timeline in
+	// recorded order, then record the deferred launches for relaunchDeferred.
+	e.clock.RestoreNow(now)
+	for _, ev := range armed {
+		if ev.At < now {
+			return fmt.Errorf("checkpoint armed event at t=%v before barrier t=%v", ev.At, now)
+		}
+		e.scheduleScenarioEvent(ev)
+	}
+	e.deferred = append(e.deferred[:0], deferred...)
+	for _, m := range e.deferred {
+		e.deferredSet[m] = true
+	}
+	e.nextCkpt = (e.srv.epoch()/e.cfg.CheckpointEvery + 1) * e.cfg.CheckpointEvery
+	if e.cfg.RecoverOpt {
+		// The barrier's snapshot is by definition the last checkpoint.
+		e.ckptW = append(e.ckptW[:0], e.srv.w...)
+		e.ckptBN = e.srv.bnAcc.Clone()
+		e.ckptUpdates = e.srv.updates
+	}
+	return nil
+}
+
+// writeScnEvent / readScnEvent serialize one scenario timeline event.
+func writeScnEvent(w *snapshot.Writer, ev scenario.Event) {
+	w.F64(ev.At)
+	w.F64(ev.Period)
+	w.String(string(ev.Kind))
+	w.Int(ev.Worker)
+	w.F64(ev.CompScale)
+	w.F64(ev.CommScale)
+}
+
+func readScnEvent(r *snapshot.Reader) scenario.Event {
+	return scenario.Event{
+		At:        r.F64(),
+		Period:    r.F64(),
+		Kind:      scenario.Kind(r.String()),
+		Worker:    r.Int(),
+		CompScale: r.F64(),
+		CommScale: r.F64(),
+	}
+}

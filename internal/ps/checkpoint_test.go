@@ -1,0 +1,297 @@
+package ps
+
+import (
+	"testing"
+
+	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
+)
+
+// runCapturing executes env, collecting every checkpoint the barriers emit.
+func runCapturing(env Env) (Result, []Checkpoint) {
+	var cks []Checkpoint
+	env.CheckpointSink = func(ck Checkpoint) error {
+		cks = append(cks, ck)
+		return nil
+	}
+	return Run(env), cks
+}
+
+// ckptEnv is tinyEnvSeeded with a checkpoint barrier every epoch.
+func ckptEnv(algo Algo, workers, epochs int, kind BackendKind, scn *scenario.Scenario) Env {
+	env := tinyEnvSeeded(algo, workers, epochs)
+	env.Cfg.CheckpointEvery = 1
+	env.Cfg.Backend = kind
+	env.Cfg.Scenario = scn
+	return env
+}
+
+// TestResumeEquivalence is the persistence subsystem's central guarantee,
+// the analogue of TestBackendEquivalence for the time axis: for every
+// algorithm, both execution backends, and churning scenarios (crashes,
+// elastic resizes, network partitions), a run checkpointed at a quiescent
+// barrier and resumed from the serialized bytes finishes with a Result that
+// is float-bit-identical to the run that executed straight through — curve
+// points, virtual clock, staleness accounting and predictor traces
+// included. Resumes are additionally crossed over to the other backend,
+// proving a sequential checkpoint restores onto concurrent lanes and vice
+// versa.
+func TestResumeEquivalence(t *testing.T) {
+	scns := append([]*scenario.Scenario{nil}, equivalenceScenarios()...)
+	for _, algo := range allAlgos {
+		for _, kind := range []BackendKind{BackendSequential, BackendConcurrent} {
+			for _, scn := range scns {
+				m := 4
+				if algo == SGD {
+					m = 1
+				}
+				name := "none"
+				if scn != nil {
+					name = scn.Name
+				}
+				label := string(algo) + "/" + string(kind) + "/" + name
+				full, cks := runCapturing(ckptEnv(algo, m, 3, kind, scn))
+				if len(cks) == 0 {
+					t.Fatalf("%s: no checkpoints emitted", label)
+				}
+				// Resume from the first and last barrier, on the writing
+				// backend and on the other one.
+				for _, ci := range []int{0, len(cks) - 1} {
+					for _, rkind := range []BackendKind{kind, otherBackend(kind)} {
+						env := ckptEnv(algo, m, 3, rkind, scn)
+						res, err := Resume(env, cks[ci].Data)
+						if err != nil {
+							t.Fatalf("%s: resume ckpt %d on %s: %v", label, ci, rkind, err)
+						}
+						assertResultsEqual(t, label+"/resume-"+string(rkind), full, res)
+					}
+				}
+			}
+		}
+	}
+}
+
+func otherBackend(k BackendKind) BackendKind {
+	if k == BackendSequential {
+		return BackendConcurrent
+	}
+	return BackendSequential
+}
+
+// TestCheckpointSinkIsPassive pins that serialization itself cannot perturb
+// the run: results are identical with and without a sink listening at the
+// barriers.
+func TestCheckpointSinkIsPassive(t *testing.T) {
+	withSink, cks := runCapturing(ckptEnv(LCASGD, 4, 3, BackendSequential, nil))
+	if len(cks) < 2 {
+		t.Fatalf("expected barriers at epochs 1 and 2, got %d checkpoints", len(cks))
+	}
+	noSink := Run(ckptEnv(LCASGD, 4, 3, BackendSequential, nil))
+	assertResultsEqual(t, "sink-passive", withSink, noSink)
+}
+
+// TestCheckpointMetadataMatchesRun sanity-checks the Checkpoint header
+// fields the experiment store displays.
+func TestCheckpointMetadataMatchesRun(t *testing.T) {
+	_, cks := runCapturing(ckptEnv(ASGD, 4, 3, BackendSequential, nil))
+	if len(cks) != 2 {
+		t.Fatalf("3-epoch run with every-epoch barriers: %d checkpoints, want 2 (none at the final epoch)", len(cks))
+	}
+	for i, ck := range cks {
+		if ck.Epoch != i+1 {
+			t.Fatalf("checkpoint %d at epoch %d", i, ck.Epoch)
+		}
+		if ck.Batches < ck.Epoch*8 || ck.Updates <= 0 || ck.VirtualMs <= 0 || len(ck.Data) == 0 {
+			t.Fatalf("checkpoint %d implausible: %+v (payload %d bytes)", i, ck, len(ck.Data))
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedConfig: a checkpoint must not restore into a
+// run whose trajectory-shaping configuration differs.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	_, cks := runCapturing(ckptEnv(ASGD, 4, 3, BackendSequential, nil))
+	env := ckptEnv(ASGD, 4, 3, BackendSequential, nil)
+	env.Cfg.LR *= 2
+	if _, err := Resume(env, cks[0].Data); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different configuration")
+	}
+	// The backend is exempt: it is excluded from ConfigKey by design.
+	env2 := ckptEnv(ASGD, 4, 3, BackendConcurrent, nil)
+	if _, err := Resume(env2, cks[0].Data); err != nil {
+		t.Fatalf("cross-backend resume rejected: %v", err)
+	}
+}
+
+// TestResumeRejectsCorruptPayload: the codec's corruption detection must
+// surface through Resume rather than silently restoring garbage.
+func TestResumeRejectsCorruptPayload(t *testing.T) {
+	_, cks := runCapturing(ckptEnv(ASGD, 4, 3, BackendSequential, nil))
+	data := append([]byte(nil), cks[0].Data...)
+
+	truncated := data[:len(data)/2]
+	env := ckptEnv(ASGD, 4, 3, BackendSequential, nil)
+	if _, err := Resume(env, truncated); err == nil {
+		t.Fatal("resume accepted a truncated checkpoint")
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/3] ^= 0x10
+	if _, err := Resume(env, flipped); err == nil {
+		t.Fatal("resume accepted a bit-flipped checkpoint")
+	}
+
+	notASnapshot := []byte("definitely not a checkpoint")
+	if _, err := Resume(env, notASnapshot); err == nil {
+		t.Fatal("resume accepted a foreign file")
+	}
+}
+
+// TestConfigKeyDiscriminates pins what run identity means: everything that
+// shapes the trajectory changes the key, the execution backend does not.
+func TestConfigKeyDiscriminates(t *testing.T) {
+	base := tinyEnvSeeded(ASGD, 4, 3).Cfg
+	key := ConfigKey(base)
+	mutations := []func(*Config){
+		func(c *Config) { c.Seed++ },
+		func(c *Config) { c.LR *= 2 },
+		func(c *Config) { c.Algo = LCASGD },
+		func(c *Config) { c.Workers = 8 },
+		func(c *Config) { c.CheckpointEvery = 1 },
+		func(c *Config) { c.RecoverOpt = true },
+		func(c *Config) { s := scenario.Flaky(); c.Scenario = &s },
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if ConfigKey(c) == key {
+			t.Fatalf("mutation %d did not change the config key", i)
+		}
+	}
+	b := base
+	b.Backend = BackendConcurrent
+	if ConfigKey(b) != key {
+		t.Fatal("backend changed the config key; backends are bit-identical and must share runs")
+	}
+	// The key is defaults-normalized: an explicitly-defaulted config and a
+	// zero-field one identify the same run.
+	d := base
+	d.EvalBatch = 150
+	if ConfigKey(d) != key {
+		t.Fatal("applying an explicit default changed the key")
+	}
+}
+
+// TestRecoverOptChangesRecoveryTrajectory pins the -recover-opt semantics:
+// with checkpoints armed, a crash-recovery run where recovered workers
+// restore the last barrier snapshot diverges from the fresh-pull default,
+// still completes the full sample budget, and reports the checkpoint-scale
+// staleness the stale restart incurs.
+func TestRecoverOptChangesRecoveryTrajectory(t *testing.T) {
+	scn := &scenario.Scenario{
+		Name: "blip",
+		Events: []scenario.Event{
+			// The tiny env's first every-epoch barrier lands around t≈120
+			// (updates≈10). The recovery must fall after the post-barrier
+			// dead window (relaunched pipelines take ~33ms to commit again):
+			// at t=170 the live server has drifted several updates past the
+			// snapshot, so the stale restore is observable.
+			{At: 100, Kind: scenario.Crash, Worker: 1},
+			{At: 170, Kind: scenario.Recover, Worker: 1},
+		},
+	}
+	mk := func(recover bool) Env {
+		env := ckptEnv(ASGD, 4, 4, BackendSequential, scn)
+		env.Cfg.RecoverOpt = recover
+		return env
+	}
+	fresh := Run(mk(false))
+	opt := Run(mk(true))
+	if opt.Updates != fresh.Updates {
+		t.Fatalf("recover-opt changed the sample budget: %d vs %d", opt.Updates, fresh.Updates)
+	}
+	same := true
+	for i := range fresh.Points {
+		if i < len(opt.Points) && fresh.Points[i] != opt.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("recover-opt trajectory identical to fresh-pull recovery; restore path inert")
+	}
+	if opt.MaxStaleness <= fresh.MaxStaleness {
+		t.Fatalf("checkpoint-stale restart did not raise max staleness: %d vs %d",
+			opt.MaxStaleness, fresh.MaxStaleness)
+	}
+
+	// The variant preserves both engine guarantees: backend equivalence and
+	// resume equivalence.
+	assertBackendEquivalent(t, "recover-opt", func() Env { return mk(true) })
+	full, cks := runCapturing(mk(true))
+	res, err := Resume(mk(true), cks[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, "recover-opt/resume", full, res)
+}
+
+// TestRecoverOptBeforeFirstBarrierFallsBack: a recovery before any
+// checkpoint exists must pull fresh state, matching the default exactly.
+func TestRecoverOptBeforeFirstBarrierFallsBack(t *testing.T) {
+	scn := &scenario.Scenario{
+		Name: "early-blip",
+		Events: []scenario.Event{
+			{At: 40, Kind: scenario.Crash, Worker: 1},
+			{At: 90, Kind: scenario.Recover, Worker: 1},
+		},
+	}
+	mk := func(recover bool) Env {
+		// Barriers every 2 epochs of a 2-epoch run: none ever fires before
+		// the recovery.
+		env := tinyEnvSeeded(ASGD, 4, 2)
+		env.Cfg.Scenario = scn
+		env.Cfg.CheckpointEvery = 2
+		env.Cfg.RecoverOpt = recover
+		return env
+	}
+	a, b := Run(mk(false)), Run(mk(true))
+	// RecoverOpt is part of ConfigKey but, with no barrier before the
+	// recovery, must not alter the numbers.
+	assertResultsEqual(t, "recover-opt-fallback", a, b)
+}
+
+// TestSnapshotStateRoundTripViaStore exercises the full persistence loop a
+// preempted runner would: checkpoint to an on-disk store, reload the bytes,
+// resume.
+func TestSnapshotStateRoundTripViaStore(t *testing.T) {
+	st, err := snapshot.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ckptEnv(LCASGD, 4, 3, BackendSequential, nil)
+	rd, err := st.Run(ConfigKey(env.Cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.CheckpointSink = func(ck Checkpoint) error {
+		return rd.SaveCheckpoint(ck.Data, snapshot.CkptMeta{
+			Epoch: ck.Epoch, Batches: ck.Batches, Updates: ck.Updates, VirtualMs: ck.VirtualMs,
+		})
+	}
+	full := Run(env)
+
+	data, meta, err := rd.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Epoch != 2 {
+		t.Fatalf("latest checkpoint at epoch %d, want 2", meta.Epoch)
+	}
+	env2 := ckptEnv(LCASGD, 4, 3, BackendSequential, nil)
+	res, err := Resume(env2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, "store-loop", full, res)
+}

@@ -1,6 +1,8 @@
 package ps
 
 import (
+	"fmt"
+
 	"lcasgd/internal/cluster"
 	"lcasgd/internal/core"
 	"lcasgd/internal/rng"
@@ -37,11 +39,34 @@ type Engine struct {
 	stalenessN   int
 	maxStale     int
 
-	// Scenario bookkeeping (fleet.go): armed timeline events and how many of
-	// them have been applied.
-	scnPending    int
-	revivePending int
-	scnApplied    int
+	// Scenario bookkeeping (fleet.go): the armed (scheduled, unfired)
+	// timeline events as data, the arm-order counter, and how many events
+	// have been applied.
+	armed      []armedScn
+	armSeq     uint64
+	scnApplied int
+
+	// inflight counts scheduled-but-unfired worker events (After and
+	// AfterWorker). Zero means every worker pipeline has drained — the
+	// quiescence condition a checkpoint barrier waits for.
+	inflight int
+
+	// Checkpoint-barrier state (checkpoint.go): the next barrier epoch,
+	// whether the engine is currently draining toward a barrier, and the
+	// launches deferred during the drain (re-armed right after the
+	// snapshot is taken — or, on resume, right after it is restored).
+	nextCkpt    int
+	quiescing   bool
+	deferred    []int
+	deferredSet []bool
+
+	// Last-checkpoint server state for Config.RecoverOpt: a recovered
+	// worker flagged in recoverPend restarts from this snapshot instead of
+	// pulling the live server (see Pull).
+	ckptW       []float64
+	ckptBN      *core.BNAccumulator
+	ckptUpdates int
+	recoverPend []bool
 }
 
 // newEngine builds the shared preamble the five run* monoliths used to
@@ -89,6 +114,9 @@ func newEngine(env Env, st Strategy) *Engine {
 		loss:        make([]float64, M),
 		waits:       make([]func(), M),
 		snapUpdates: make([]int, M),
+		nextCkpt:    cfg.CheckpointEvery,
+		deferredSet: make([]bool, M),
+		recoverPend: make([]bool, M),
 	}
 	e.rec = newRecorder(env, modelSeed, backend)
 	return e
@@ -104,7 +132,20 @@ func (e *Engine) run() Result {
 	for m := range e.reps {
 		e.launch(m)
 	}
-	e.clock.Run(func() bool { return e.srv.done() })
+	return e.loop()
+}
+
+// loop drives the event queue to completion, taking a checkpoint whenever a
+// barrier drain reaches quiescence, then assembles the result.
+func (e *Engine) loop() Result {
+	for e.clock.Step() {
+		if e.srv.done() {
+			break
+		}
+		if e.quiescing && e.inflight == 0 {
+			e.takeCheckpoint()
+		}
+	}
 	points := e.rec.finish(e.srv, e.clock.Now())
 	res := Result{
 		Algo:           e.strategy.Algo(),
@@ -123,11 +164,26 @@ func (e *Engine) run() Result {
 }
 
 // launch arms worker m's next iteration while it is part of the fleet and
-// sample budget remains.
+// sample budget remains. During a checkpoint drain the launch is deferred
+// (re-armed after the barrier); a partitioned worker with no heal in sight
+// parks instead of computing for a server it can never reach.
 func (e *Engine) launch(m int) {
-	if e.fleet.active[m] && !e.srv.done() {
-		e.strategy.Launch(e, m)
+	if !e.fleet.active[m] || e.srv.done() {
+		return
 	}
+	if e.quiescing {
+		if !e.deferredSet[m] {
+			e.deferredSet[m] = true
+			e.deferred = append(e.deferred, m)
+		}
+		return
+	}
+	if e.fleet.cut[m] && !e.healArmed(m) {
+		e.fleet.parked[m] = true
+		return
+	}
+	e.fleet.parked[m] = false
+	e.strategy.Launch(e, m)
 }
 
 // --- engine services for strategies ---
@@ -178,8 +234,15 @@ func (e *Engine) CommSample(m int) float64 { return e.sampler.Comm(m) }
 // CompSample draws a computation time for worker m's next iteration.
 func (e *Engine) CompSample(m int) float64 { return e.sampler.Comp(m) }
 
-// After schedules f on the virtual clock, delay milliseconds from now.
-func (e *Engine) After(delay float64, f func()) { e.clock.ScheduleAfter(delay, f) }
+// After schedules f on the virtual clock, delay milliseconds from now. Like
+// AfterWorker it counts toward the engine's in-flight tally (see fleet.go).
+func (e *Engine) After(delay float64, f func()) {
+	e.inflight++
+	e.clock.ScheduleAfter(delay, func() {
+		e.inflight--
+		f()
+	})
+}
 
 // Pull installs the server's current weights and global BN statistics into
 // worker m's replica (Algorithm 1 lines 1–2) and snapshots the update
@@ -189,13 +252,35 @@ func (e *Engine) After(delay float64, f func()) { e.clock.ScheduleAfter(delay, f
 // touching the replica on its lane — Pull must not overwrite replica state
 // under it. In crash-free operation the strategy has already waited, so the
 // drain returns immediately.
+//
+// Under Config.RecoverOpt, a worker re-admitted by a Recover event restores
+// the last checkpoint's server snapshot instead (weights, BN statistics and
+// update counter as of the barrier), so the staleness its recovered
+// gradient commits with — and the error it induces — measures what losing
+// the worker's optimizer-side state actually costs. Before the first
+// barrier there is no snapshot and the pull falls back to fresh state.
 func (e *Engine) Pull(m int) {
 	if w := e.waits[m]; w != nil {
 		w()
 	}
+	if e.recoverPend[m] {
+		e.recoverPend[m] = false
+		if e.ckptW != nil {
+			e.reps[m].pull(e.ckptW, e.ckptBN)
+			e.snapUpdates[m] = e.ckptUpdates
+			return
+		}
+	}
 	e.reps[m].pull(e.srv.w, e.srv.bnAcc)
 	e.snapUpdates[m] = e.srv.updates
 }
+
+// CopyPulledWeights flattens the parameters worker m's replica currently
+// holds into dst. Immediately after Pull this is the exact vector the
+// worker's gradient will be computed at — which is what DC-ASGD's delay
+// compensation must back up, and which under RecoverOpt is not necessarily
+// the live server state Weights returns.
+func (e *Engine) CopyPulledWeights(m int, dst []float64) { flatten(e.reps[m], dst) }
 
 // DispatchGradient runs worker m's full local step (forward + backward, no
 // compensation) on the backend. After wait returns, Gradient(m) and Loss(m)
@@ -237,14 +322,26 @@ func (e *Engine) Loss(m int) float64 { return e.loss[m] }
 func (e *Engine) Gradient(m int) []float64 { return e.reps[m].grad }
 
 // FoldStats folds worker m's batch-normalization statistics into the global
-// accumulator per the configured BN mode (Formulas 6–7).
-func (e *Engine) FoldStats(m int) { e.srv.bnAcc.Update(e.reps[m].stats()) }
+// accumulator per the configured BN mode (Formulas 6–7). A partitioned
+// worker's statistics are dropped with the rest of its commit.
+func (e *Engine) FoldStats(m int) {
+	if e.fleet.cut[m] {
+		return
+	}
+	e.srv.bnAcc.Update(e.reps[m].stats())
+}
 
 // Commit lands grad on the server at the current virtual time: staleness
 // accounting against the worker's last Pull, the server update (Formula 8's
 // shared shape), curve recording, and the worker's next Launch while budget
-// remains.
+// remains. A partitioned worker's commit is dropped wholesale — no update,
+// no staleness sample, no budget consumed — and the worker simply iterates
+// again, exactly the wasted work a real partition causes.
 func (e *Engine) Commit(m int, grad []float64, batches int) {
+	if e.fleet.cut[m] {
+		e.launch(m)
+		return
+	}
 	st := e.Staleness(m)
 	e.stalenessSum += st
 	if st > e.maxStale {
@@ -257,13 +354,25 @@ func (e *Engine) Commit(m int, grad []float64, batches int) {
 
 // Apply performs the raw server update without per-worker bookkeeping — the
 // SSGD barrier path, where M gradients fold into one update. Most
-// strategies use Commit instead.
+// strategies use Commit instead. Crossing a checkpoint-barrier epoch here
+// arms the quiescent drain (see checkpoint.go).
 func (e *Engine) Apply(grad []float64, batches int) {
 	e.srv.apply(grad, batches)
 	e.rec.maybeRecord(e.srv, e.clock.Now(), false)
+	if e.nextCkpt > 0 && e.srv.epoch() >= e.nextCkpt && !e.srv.done() {
+		e.quiescing = true
+	}
 }
 
 // Relaunch arms worker m's next iteration if budget remains; strategies
 // whose commits are not per-worker (SSGD's barrier) use it to restart the
 // fleet.
 func (e *Engine) Relaunch(m int) { e.launch(m) }
+
+// assertQuiescent panics when worker events are still in flight; it guards
+// checkpoint serialization, which is only sound at a quiescent boundary.
+func assertQuiescent(e *Engine, where string) {
+	if e.inflight != 0 {
+		panic(fmt.Sprintf("ps: %s with %d worker events in flight", where, e.inflight))
+	}
+}

@@ -44,6 +44,22 @@ func equivalenceScenarios() []*scenario.Scenario {
 				{At: 200, Kind: scenario.Join, Worker: 0},
 			},
 		},
+		{
+			// Network partitions overlapping a crash: worker 1 computes
+			// behind a cut while worker 2 is down, then both rejoin; worker
+			// 0 rides a periodic partition/heal cycle for the rest of the
+			// run (on a one-replica SGD fleet only the worker-0 events
+			// survive compilation, so the budget still completes).
+			Name: "partition-heal",
+			Events: []scenario.Event{
+				{At: 50, Kind: scenario.Partition, Worker: 1},
+				{At: 80, Kind: scenario.Crash, Worker: 2},
+				{At: 130, Kind: scenario.Heal, Worker: 1},
+				{At: 160, Kind: scenario.Recover, Worker: 2},
+				{At: 200, Period: 150, Kind: scenario.Partition, Worker: 0},
+				{At: 260, Period: 150, Kind: scenario.Heal, Worker: 0},
+			},
+		},
 	}
 }
 
@@ -56,7 +72,14 @@ func assertBackendEquivalent(t *testing.T, label string, mk func() Env) {
 	conc := mk()
 	conc.Cfg.Backend = BackendConcurrent
 	a, b := Run(seq), Run(conc)
+	assertResultsEqual(t, label, a, b)
+}
 
+// assertResultsEqual requires two Results to match bit for bit on every
+// deterministic field (wall-clock predictor timings excluded — they measure
+// the host, not the run).
+func assertResultsEqual(t *testing.T, label string, a, b Result) {
+	t.Helper()
 	if len(a.Points) != len(b.Points) {
 		t.Fatalf("%s: point counts differ: %d vs %d", label, len(a.Points), len(b.Points))
 	}
@@ -88,6 +111,11 @@ func assertBackendEquivalent(t *testing.T, label string, mk func() Env) {
 	for i := range a.LossTrace {
 		if a.LossTrace[i] != b.LossTrace[i] {
 			t.Fatalf("%s: loss trace point %d differs", label, i)
+		}
+	}
+	for i := range a.StepTrace {
+		if a.StepTrace[i] != b.StepTrace[i] {
+			t.Fatalf("%s: step trace point %d differs", label, i)
 		}
 	}
 }

@@ -3,10 +3,11 @@ package ps
 import "lcasgd/internal/scenario"
 
 // This file is the engine's fleet-lifecycle layer: which workers are
-// currently part of the run, and how a scenario timeline (crashes,
-// recoveries, elastic resizes, cost phase shifts) mutates that membership on
-// the simulated clock. Everything here runs on the event loop, so lane
-// churn is identical — and results bit-identical — across backends.
+// currently part of the run, which are cut off from the server by a network
+// partition, and how a scenario timeline (crashes, recoveries, elastic
+// resizes, partitions) mutates that state on the simulated clock.
+// Everything here runs on the event loop, so lane churn is identical — and
+// results bit-identical — across backends.
 
 // FleetWatcher is an optional Strategy refinement for algorithms whose
 // scheduling spans workers (SSGD's barrier). The engine calls WorkerRetired
@@ -15,23 +16,36 @@ import "lcasgd/internal/scenario"
 // waiting on the worker must recompute (for a barrier: shrink the round,
 // and close it if the retired worker was the last one outstanding).
 // Admission needs no callback — the engine re-launches an admitted worker
-// through the strategy's ordinary Launch.
+// through the strategy's ordinary Launch. Partitions likewise need no
+// callback: the worker stays in the fleet and keeps computing; strategies
+// folding gradients across workers consult Partitioned at fold time.
 type FleetWatcher interface {
 	WorkerRetired(e *Engine, m int)
 }
 
-// fleet tracks per-worker membership. gen counts a worker's retirements:
-// AfterWorker events capture the generation at scheduling time and are
-// dropped if it moved, which is what makes a crash cancel the worker's
-// in-flight pipeline without any backend coordination (the dispatched
-// compute still drains on its lane, touching only worker-private state).
+// fleet tracks per-worker membership and connectivity. gen counts a
+// worker's retirements: AfterWorker events capture the generation at
+// scheduling time and are dropped if it moved, which is what makes a crash
+// cancel the worker's in-flight pipeline without any backend coordination
+// (the dispatched compute still drains on its lane, touching only
+// worker-private state). cut marks workers computing behind a network
+// partition — their commits are dropped until a Heal event — and parked
+// marks cut workers idled because no Heal remains armed (computing forever
+// for a server that will never answer would hang the run).
 type fleet struct {
 	active []bool
 	gen    []uint64
+	cut    []bool
+	parked []bool
 }
 
 func newFleet(workers int, scn *scenario.Scenario) *fleet {
-	f := &fleet{active: make([]bool, workers), gen: make([]uint64, workers)}
+	f := &fleet{
+		active: make([]bool, workers),
+		gen:    make([]uint64, workers),
+		cut:    make([]bool, workers),
+		parked: make([]bool, workers),
+	}
 	initial := workers
 	if scn != nil && scn.InitialWorkers > 0 && scn.InitialWorkers < workers {
 		initial = scn.InitialWorkers
@@ -46,10 +60,15 @@ func newFleet(workers int, scn *scenario.Scenario) *fleet {
 // m's current fleet generation: if m is retired before the event fires, the
 // event is dropped. Strategies use it for every per-worker pipeline stage so
 // a crash cancels the worker's in-flight iteration; events that must fire
-// regardless of fleet churn use After.
+// regardless of fleet churn use After. Both are counted in the engine's
+// in-flight tally so a checkpoint barrier knows when the pipelines have
+// drained (a generation-dropped event still occupies the clock until its
+// time, and still counts down when it fires).
 func (e *Engine) AfterWorker(m int, delay float64, f func()) {
 	gen := e.fleet.gen[m]
+	e.inflight++
 	e.clock.ScheduleAfter(delay, func() {
+		e.inflight--
 		if e.fleet.gen[m] == gen {
 			f()
 		}
@@ -60,12 +79,21 @@ func (e *Engine) AfterWorker(m int, delay float64, f func()) {
 // last Pull — the τ of staleness-aware update rules.
 func (e *Engine) Staleness(m int) int { return e.srv.updates - e.snapUpdates[m] }
 
+// Partitioned reports whether worker m is currently computing behind a
+// network partition. The engine already drops such a worker's Commit and
+// FoldStats; strategies that fold gradients across workers outside Commit
+// (SSGD's barrier average) must consult it at fold time.
+func (e *Engine) Partitioned(m int) bool { return e.fleet.cut[m] }
+
 // retire removes worker m from the fleet: its generation advances (dropping
 // every pending AfterWorker event) and barrier-style strategies are told so
-// they stop waiting for it.
+// they stop waiting for it. A parked or recover-pending flag is cleared —
+// retirement supersedes both.
 func (e *Engine) retire(m int) {
 	e.fleet.gen[m]++
 	e.fleet.active[m] = false
+	e.fleet.parked[m] = false
+	e.recoverPend[m] = false
 	if fw, ok := e.strategy.(FleetWatcher); ok {
 		fw.WorkerRetired(e, m)
 	}
@@ -73,10 +101,22 @@ func (e *Engine) retire(m int) {
 
 // admit (re-)adds worker m to the fleet and starts its first iteration. The
 // worker's next Pull re-snapshots the server, so a recovered worker resumes
-// from current state, not from where it crashed.
+// from current state, not from where it crashed (unless Config.RecoverOpt
+// marked it to restart from the last checkpoint instead — see Pull).
 func (e *Engine) admit(m int) {
 	e.fleet.active[m] = true
 	e.launch(m)
+}
+
+// armedScn is one scheduled-but-unfired scenario event. The engine keeps
+// the armed set as data (not just closures on the clock) for two reasons:
+// the stall guard needs to know whether anything can still revive or heal
+// the fleet, and a checkpoint must serialize exactly the pending timeline —
+// closures cannot cross a process boundary, but (event, arm-order) pairs
+// can, and re-arming them in order reproduces the clock's tie-breaking.
+type armedScn struct {
+	id uint64
+	ev scenario.Event
 }
 
 // installScenario compiles the configured scenario onto the clock. Events
@@ -96,20 +136,13 @@ func (e *Engine) installScenario() {
 }
 
 // scheduleScenarioEvent arms one occurrence of ev and, for periodic events,
-// re-arms the next occurrence after applying it. scnPending/revivePending
-// track how many armed events remain so the stall guard below can tell a
-// temporarily idle fleet from a permanently dead one.
+// re-arms the next occurrence after applying it.
 func (e *Engine) scheduleScenarioEvent(ev scenario.Event) {
-	e.scnPending++
-	revive := ev.Kind == scenario.Recover || ev.Kind == scenario.Join
-	if revive {
-		e.revivePending++
-	}
+	id := e.armSeq
+	e.armSeq++
+	e.armed = append(e.armed, armedScn{id: id, ev: ev})
 	e.clock.ScheduleAt(ev.At, func() {
-		e.scnPending--
-		if revive {
-			e.revivePending--
-		}
+		e.disarm(id)
 		e.applyScenarioEvent(ev)
 		if ev.Period > 0 && !e.srv.done() && !e.fleetStalled() {
 			next := ev
@@ -119,24 +152,62 @@ func (e *Engine) scheduleScenarioEvent(ev scenario.Event) {
 	})
 }
 
-// fleetStalled reports that no worker is active, nothing but scenario
-// events remains on the clock, and no armed event can revive the fleet.
-// Periodic events stop re-arming at that point; otherwise a timeline that
-// permanently empties the fleet would tick forever while training never
-// finishes. The run then truncates deterministically instead of hanging.
+// disarm removes a fired event from the armed set.
+func (e *Engine) disarm(id uint64) {
+	for i, a := range e.armed {
+		if a.id == id {
+			e.armed = append(e.armed[:i], e.armed[i+1:]...)
+			return
+		}
+	}
+}
+
+// reviveArmed reports whether any armed event could restore progress to a
+// fleet that currently has none: a Recover or Join brings a worker back, a
+// Heal reconnects a parked one.
+func (e *Engine) reviveArmed() bool {
+	for _, a := range e.armed {
+		switch a.ev.Kind {
+		case scenario.Recover, scenario.Join, scenario.Heal:
+			return true
+		}
+	}
+	return false
+}
+
+// healArmed reports whether a Heal for worker m is still armed. A
+// partitioned worker keeps iterating only while one is — otherwise it
+// parks, since every commit it could ever produce would be dropped.
+func (e *Engine) healArmed(m int) bool {
+	for _, a := range e.armed {
+		if a.ev.Kind == scenario.Heal && a.ev.Worker == m {
+			return true
+		}
+	}
+	return false
+}
+
+// fleetStalled reports that no worker can make progress — every member is
+// retired or parked behind a heal-less partition — nothing but scenario
+// events remains on the clock, and no armed event can revive or heal
+// anyone. Periodic events stop re-arming at that point; otherwise a
+// timeline that permanently disables the fleet would tick forever while
+// training never finishes. The run then truncates deterministically
+// instead of hanging.
 func (e *Engine) fleetStalled() bool {
-	for _, a := range e.fleet.active {
-		if a {
+	for m, a := range e.fleet.active {
+		if a && (!e.fleet.cut[m] || e.healArmed(m)) {
 			return false
 		}
 	}
-	return e.revivePending == 0 && e.clock.Pending() <= e.scnPending
+	return !e.reviveArmed() && e.inflight == 0
 }
 
 // applyScenarioEvent executes one timeline event at its virtual time.
-// Redundant events (crashing a dead worker, admitting a live one) are
-// ignored and not counted, which makes periodic crash/recover pairs
-// idempotent however they interleave with the run's natural end.
+// Redundant events (crashing a dead worker, admitting a live one,
+// partitioning a cut one) are ignored and not counted, which makes periodic
+// event pairs idempotent however they interleave with the run's natural
+// end.
 func (e *Engine) applyScenarioEvent(ev scenario.Event) {
 	switch ev.Kind {
 	case scenario.PhaseShift:
@@ -154,7 +225,28 @@ func (e *Engine) applyScenarioEvent(ev scenario.Event) {
 		if e.fleet.active[ev.Worker] {
 			return
 		}
+		if ev.Kind == scenario.Recover && e.cfg.RecoverOpt {
+			// The recovered worker restarts from the last checkpoint's
+			// server snapshot instead of pulling fresh state (consumed by
+			// the next Pull). Join admits a brand-new worker: it has no
+			// lost state to restore.
+			e.recoverPend[ev.Worker] = true
+		}
 		e.admit(ev.Worker)
+	case scenario.Partition:
+		if e.fleet.cut[ev.Worker] {
+			return
+		}
+		e.fleet.cut[ev.Worker] = true
+	case scenario.Heal:
+		if !e.fleet.cut[ev.Worker] {
+			return
+		}
+		e.fleet.cut[ev.Worker] = false
+		if e.fleet.parked[ev.Worker] {
+			e.fleet.parked[ev.Worker] = false
+			e.launch(ev.Worker)
+		}
 	}
 	e.scnApplied++
 }

@@ -1,6 +1,11 @@
 package ps
 
-import "lcasgd/internal/core"
+import (
+	"fmt"
+
+	"lcasgd/internal/core"
+	"lcasgd/internal/snapshot"
+)
 
 // lcStrategy executes the paper's LC-ASGD (Algorithms 1–4). Each worker
 // iteration has two server interactions:
@@ -57,43 +62,52 @@ func (s *lcStrategy) Launch(e *Engine, m int) {
 			return
 		}
 		fwdWait()
-		loss := e.Loss(m)
-		// Algorithm 2 lines 1–7: server handles state_m.
-		observed := s.iterLog.Append(m)
-		var k int
-		if s.cfg.NaiveStepPredictor {
-			k = observed
-			if k < 0 {
-				k = e.Workers() - 1
-			}
-		} else {
-			k = s.stepPred.ObserveAndPredict(m, observed, tcomm, s.lastComp[m])
-		}
-		var ldelay float64
-		if s.emaLoss != nil {
-			s.emaLoss.Observe(loss)
-			ldelay = s.emaLoss.PredictDelay(k)
-		} else {
-			s.lossPred.Observe(loss)
-			ldelay = s.lossPred.PredictDelay(loss, k)
-		}
-		e.FoldStats(m)
-		// Algorithm 1 lines 9–12: compensated backward pass, push grads.
-		// Compensation is gated off during the first epoch: the online
-		// predictors have not seen enough of the loss series yet, and
-		// the paper itself notes prediction error "generally occurs at
-		// the beginning of the training process".
 		scale := 1.0
-		if e.Batches() >= e.BatchesPerEpoch() {
-			if s.cfg.SumCompensation {
-				scale = core.CompensationScaleSum(loss, ldelay, s.cfg.Lambda)
+		serverMs := s.cfg.PredVirtualMs
+		if e.Partitioned(m) {
+			// The server is unreachable: no state push, no predictor
+			// training, no compensation reply and no server-side prediction
+			// time on the critical path. The worker proceeds uncompensated;
+			// its gradient will be dropped at commit time anyway.
+			serverMs = 0
+		} else {
+			loss := e.Loss(m)
+			// Algorithm 2 lines 1–7: server handles state_m.
+			observed := s.iterLog.Append(m)
+			var k int
+			if s.cfg.NaiveStepPredictor {
+				k = observed
+				if k < 0 {
+					k = e.Workers() - 1
+				}
 			} else {
-				scale = core.CompensationScale(loss, ldelay, k, s.cfg.Lambda)
+				k = s.stepPred.ObserveAndPredict(m, observed, tcomm, s.lastComp[m])
 			}
+			var ldelay float64
+			if s.emaLoss != nil {
+				s.emaLoss.Observe(loss)
+				ldelay = s.emaLoss.PredictDelay(k)
+			} else {
+				s.lossPred.Observe(loss)
+				ldelay = s.lossPred.PredictDelay(loss, k)
+			}
+			e.FoldStats(m)
+			// Algorithm 1 lines 9–12: compensated backward pass, push grads.
+			// Compensation is gated off during the first epoch: the online
+			// predictors have not seen enough of the loss series yet, and
+			// the paper itself notes prediction error "generally occurs at
+			// the beginning of the training process".
+			if e.Batches() >= e.BatchesPerEpoch() {
+				if s.cfg.SumCompensation {
+					scale = core.CompensationScaleSum(loss, ldelay, s.cfg.Lambda)
+				} else {
+					scale = core.CompensationScale(loss, ldelay, k, s.cfg.Lambda)
+				}
+			}
+			s.lastComp[m] = tbwd
 		}
 		bwdWait := e.DispatchBackward(m, scale)
-		s.lastComp[m] = tbwd
-		e.AfterWorker(m, s.cfg.PredVirtualMs+tcomm+tbwd+e.CommSample(m), func() {
+		e.AfterWorker(m, serverMs+tcomm+tbwd+e.CommSample(m), func() {
 			if e.Done() {
 				return
 			}
@@ -101,6 +115,52 @@ func (s *lcStrategy) Launch(e *Engine, m int) {
 			e.Commit(m, e.Gradient(m), 1) // Formula 8
 		})
 	})
+}
+
+// SnapshotState freezes everything LC-ASGD accumulates on the server
+// across iterations: the iter delivery log, both online LSTM predictors
+// (weights, windows, traces), the EMA ablation predictor when configured,
+// and the per-worker previous-computation-time memory. At a quiescent
+// barrier no worker is mid-pipeline, so this is the algorithm's entire
+// live state.
+func (s *lcStrategy) SnapshotState(_ *Engine, w *snapshot.Writer) {
+	s.iterLog.SnapshotTo(w)
+	s.lossPred.SnapshotTo(w)
+	s.stepPred.SnapshotTo(w)
+	w.Bool(s.emaLoss != nil)
+	if s.emaLoss != nil {
+		w.F64(s.emaLoss.level)
+		w.F64(s.emaLoss.trend)
+		w.Bool(s.emaLoss.seen)
+		w.F64(s.emaLoss.last)
+	}
+	w.F64s(s.lastComp)
+}
+
+// RestoreState loads SnapshotState's payload into a freshly Setup strategy.
+func (s *lcStrategy) RestoreState(_ *Engine, r *snapshot.Reader) error {
+	if err := s.iterLog.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.lossPred.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.stepPred.RestoreFrom(r); err != nil {
+		return err
+	}
+	hasEMA := r.Bool()
+	if r.Err() == nil && hasEMA != (s.emaLoss != nil) {
+		r.Fail(fmt.Errorf("ps: checkpoint EMA-predictor presence %v, config expects %v", hasEMA, s.emaLoss != nil))
+		return r.Err()
+	}
+	if hasEMA && r.Err() == nil {
+		s.emaLoss.level = r.F64()
+		s.emaLoss.trend = r.F64()
+		s.emaLoss.seen = r.Bool()
+		s.emaLoss.last = r.F64()
+	}
+	r.F64sInto(s.lastComp)
+	return r.Err()
 }
 
 func (s *lcStrategy) Finish(e *Engine, res *Result) {

@@ -109,6 +109,27 @@ type Config struct {
 	// BackendConcurrent fans it across goroutines with bit-identical
 	// results.
 	Backend BackendKind
+
+	// CheckpointEvery arms a checkpoint barrier every that many global
+	// epochs (0 disables persistence). At each barrier the engine quiesces —
+	// new launches defer while in-flight pipelines drain — and freezes the
+	// run into a snapshot delivered to Env.CheckpointSink. The barrier is
+	// part of the run's timeline, like a real synchronous checkpoint: runs
+	// with the same cadence are bit-identical whether they execute straight
+	// through or are killed and resumed at any barrier (see checkpoint.go),
+	// but a checkpointed run differs deterministically from an
+	// un-checkpointed one, so the cadence is part of ConfigKey.
+	CheckpointEvery int
+
+	// RecoverOpt changes what a worker re-admitted by a scenario Recover
+	// event pulls first: the last checkpoint's server snapshot (weights, BN
+	// statistics, update counter) instead of fresh server state. The
+	// recovered gradient then commits with checkpoint-scale staleness,
+	// making the cost of losing a worker's optimizer-side state measurable
+	// — the robustness-table variant behind `lcexp -recover-opt`. Requires
+	// CheckpointEvery > 0 to have any effect; before the first barrier the
+	// pull falls back to fresh state.
+	RecoverOpt bool
 }
 
 // withDefaults fills zero fields.
@@ -145,6 +166,14 @@ type Env struct {
 	Train, Test *data.Dataset
 	Build       func(g *rng.RNG) *nn.Sequential
 	Cfg         Config
+
+	// CheckpointSink receives each checkpoint taken at the barriers
+	// Config.CheckpointEvery arms — typically a snapshot.Store run
+	// directory. A nil sink skips serialization but keeps the barrier
+	// discipline, so results do not depend on whether anyone is listening.
+	// A sink error aborts the run (panic): silently dropping checkpoints
+	// would defeat the persistence contract.
+	CheckpointSink func(Checkpoint) error
 }
 
 // Point is one sample of the learning curve.
@@ -190,6 +219,9 @@ func Run(env Env) Result {
 	}
 	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
 		panic(fmt.Sprintf("ps: bad batch/epochs in %+v", cfg))
+	}
+	if cfg.CheckpointEvery < 0 {
+		panic(fmt.Sprintf("ps: negative CheckpointEvery %d", cfg.CheckpointEvery))
 	}
 	if cfg.Scenario != nil {
 		if err := cfg.Scenario.Validate(); err != nil {

@@ -310,3 +310,83 @@ func TestSSGDBarrierSurvivesMidRoundCrash(t *testing.T) {
 		t.Fatalf("crashed SSGD run did not reach final epoch: %d", got)
 	}
 }
+
+func TestScenarioPartitionDropsCommitsButNotBudget(t *testing.T) {
+	scn := &scenario.Scenario{
+		Name: "cut",
+		Events: []scenario.Event{
+			{At: 40, Kind: scenario.Partition, Worker: 1},
+			{At: 160, Kind: scenario.Heal, Worker: 1},
+		},
+	}
+	base := Run(tinyEnvSeeded(ASGD, 4, 3))
+	res := Run(withScenario(ASGD, 4, 3, scn))
+	if res.ScenarioEvents != 2 {
+		t.Fatalf("applied events %d, want 2", res.ScenarioEvents)
+	}
+	// Dropped commits consume no sample budget: the run still processes
+	// every batch, it just takes longer in virtual time because worker 1's
+	// compute during the cut was wasted.
+	if res.Updates != base.Updates {
+		t.Fatalf("partition changed the sample budget: %d vs %d", res.Updates, base.Updates)
+	}
+	if res.VirtualMs <= base.VirtualMs {
+		t.Fatalf("wasted partition compute did not lengthen the run: %v vs %v", res.VirtualMs, base.VirtualMs)
+	}
+}
+
+func TestScenarioPermanentPartitionParksWorker(t *testing.T) {
+	// A partition with no heal ever coming parks the worker at its next
+	// launch instead of spinning forever; the rest of the fleet finishes
+	// the full budget.
+	scn := &scenario.Scenario{
+		Name:   "severed",
+		Events: []scenario.Event{{At: 40, Kind: scenario.Partition, Worker: 1}},
+	}
+	base := Run(tinyEnvSeeded(ASGD, 4, 3))
+	res := Run(withScenario(ASGD, 4, 3, scn))
+	if res.Updates != base.Updates {
+		t.Fatalf("updates %d, want full budget %d", res.Updates, base.Updates)
+	}
+}
+
+func TestScenarioFullPartitionTruncatesRun(t *testing.T) {
+	// Severing every worker with no heal must truncate deterministically —
+	// parked workers schedule nothing, the clock drains, no hang.
+	events := make([]scenario.Event, 0, 4)
+	for m := 0; m < 4; m++ {
+		events = append(events, scenario.Event{At: 50, Kind: scenario.Partition, Worker: m})
+	}
+	scn := &scenario.Scenario{Name: "island", Events: events}
+	base := Run(tinyEnvSeeded(ASGD, 4, 3))
+	res := Run(withScenario(ASGD, 4, 3, scn))
+	if res.Updates >= base.Updates {
+		t.Fatalf("full partition did not truncate: %d vs %d updates", res.Updates, base.Updates)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("truncated run recorded no curve points")
+	}
+}
+
+func TestScenarioPartitionedSSGDRoundStillCloses(t *testing.T) {
+	// A partitioned SSGD participant arrives but contributes nothing; the
+	// round must close over the remaining gradients and training completes.
+	scn := &scenario.Scenario{
+		Name: "cut-barrier",
+		Events: []scenario.Event{
+			{At: 40, Kind: scenario.Partition, Worker: 2},
+			{At: 200, Kind: scenario.Heal, Worker: 2},
+		},
+	}
+	res := Run(withScenario(SSGD, 4, 3, scn))
+	if res.ScenarioEvents != 2 {
+		t.Fatalf("applied events %d, want 2", res.ScenarioEvents)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("SSGD under partition produced %d points", len(res.Points))
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.TrainErr >= res.Points[0].TrainErr {
+		t.Fatalf("SSGD under partition did not learn: %v -> %v", res.Points[0].TrainErr, last.TrainErr)
+	}
+}

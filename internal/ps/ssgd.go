@@ -1,6 +1,10 @@
 package ps
 
-import "sort"
+import (
+	"sort"
+
+	"lcasgd/internal/snapshot"
+)
 
 // ssgdStrategy is synchronous distributed SGD (Formula 1): every round the
 // fleet computes gradients on the same weight snapshot, the server averages
@@ -107,18 +111,29 @@ func (s *ssgdStrategy) closeRound(e *Engine) {
 		for i := range s.avg {
 			s.avg[i] = 0
 		}
+		// Partitioned arrivals computed but cannot reach the server: their
+		// gradients and statistics are dropped from the fold and their
+		// batches consume no budget, exactly like a per-worker Commit drop.
+		// Their waits still drain — the compute happened.
+		contrib := 0
 		for _, m := range arr {
 			s.waits[m]()
+			if e.Partitioned(m) {
+				continue
+			}
 			for i, g := range e.Gradient(m) {
 				s.avg[i] += g
 			}
 			e.FoldStats(m)
+			contrib++
 		}
-		inv := 1 / float64(len(arr))
-		for i := range s.avg {
-			s.avg[i] *= inv
+		if contrib > 0 {
+			inv := 1 / float64(contrib)
+			for i := range s.avg {
+				s.avg[i] *= inv
+			}
+			e.Apply(s.avg, contrib)
 		}
-		e.Apply(s.avg, len(arr))
 	}
 	// Relaunch the arrivals plus parked admits from a reused scratch; the
 	// arrived/pending slices are recycled for the next round (the arrival
@@ -155,3 +170,18 @@ func (s *ssgdStrategy) WorkerRetired(e *Engine, m int) {
 }
 
 func (*ssgdStrategy) Finish(*Engine, *Result) {}
+
+// SnapshotState writes nothing: every piece of the barrier bookkeeping is
+// provably empty at a quiescent checkpoint boundary — the round in progress
+// when the barrier epoch was crossed is the round whose Apply armed the
+// drain, and closeRound cleared members/arrived/pending before the drain
+// could complete. The assertion turns a violated invariant into a loud
+// failure instead of a silently truncated round.
+func (s *ssgdStrategy) SnapshotState(*Engine, *snapshot.Writer) {
+	if s.inRound || len(s.members) != 0 || len(s.arrived) != 0 || len(s.pending) != 0 {
+		panic("ps: SSGD checkpoint outside a quiescent round boundary")
+	}
+}
+
+// RestoreState restores the matching nothing.
+func (*ssgdStrategy) RestoreState(*Engine, *snapshot.Reader) error { return nil }

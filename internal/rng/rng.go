@@ -65,6 +65,25 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// State exposes the generator's exact position as four words — the
+// serializable form the snapshot subsystem persists. Restoring it with
+// SetState resumes the stream at the exact draw it was captured at, which
+// is what makes checkpointed training runs replay bit-identically.
+func (r *RNG) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState rewinds (or fast-forwards) the generator to a previously
+// captured State. The all-zero state is invalid for xoshiro (it is a fixed
+// point that only ever outputs zero) and panics: it can only arise from a
+// corrupted snapshot, never from State().
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("rng: SetState with all-zero state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+}
+
 // SplitLabeled derives a child stream bound to a small integer label (for
 // example a worker rank or layer index). Two parents with equal state produce
 // equal children for equal labels, which keeps per-worker streams stable even

@@ -255,3 +255,68 @@ func BenchmarkNormal(b *testing.B) {
 		_ = r.Normal()
 	}
 }
+
+// TestStateRoundTripPositionExact pins the snapshot contract: capturing
+// State mid-stream and restoring it resumes at exactly the next draw, for
+// however long the tail runs.
+func TestStateRoundTripPositionExact(t *testing.T) {
+	r := New(0xFEED)
+	for i := 0; i < 37; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	want := make([]uint64, 100)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	fresh := New(1)
+	fresh.SetState(st)
+	for i, w := range want {
+		if got := fresh.Uint64(); got != w {
+			t.Fatalf("draw %d after restore: %x, want %x", i, got, w)
+		}
+	}
+}
+
+// TestStateRoundTripSplitStreams extends the contract to derived streams:
+// restoring a parent mid-stream reproduces the same Split and SplitLabeled
+// children (and their own draws), and restoring a child directly resumes
+// that child's position.
+func TestStateRoundTripSplitStreams(t *testing.T) {
+	parent := New(0xBEEF)
+	parent.Float64()
+	st := parent.State()
+	childA := parent.SplitLabeled(7)
+	childB := parent.Split()
+	wantA, wantB := childA.Uint64(), childB.Uint64()
+
+	parent2 := New(2)
+	parent2.SetState(st)
+	gotA := parent2.SplitLabeled(7).Uint64()
+	gotB := parent2.Split().Uint64()
+	if gotA != wantA || gotB != wantB {
+		t.Fatalf("derived streams diverged after restore: %x/%x vs %x/%x", gotA, gotB, wantA, wantB)
+	}
+
+	// Child-level round trip, mid-child-stream.
+	child := New(5).SplitLabeled(3)
+	for i := 0; i < 11; i++ {
+		child.Normal()
+	}
+	cst := child.State()
+	want := child.Uint64()
+	restored := New(9)
+	restored.SetState(cst)
+	if got := restored.Uint64(); got != want {
+		t.Fatalf("child stream draw after restore: %x, want %x", got, want)
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on all-zero state")
+		}
+	}()
+	New(1).SetState([4]uint64{})
+}

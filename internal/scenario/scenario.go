@@ -39,6 +39,16 @@ const (
 	// Leave retires a worker gracefully (elastic scale-down). Identical
 	// engine semantics to Crash.
 	Leave Kind = "leave"
+	// Partition cuts a worker off from the parameter server: the worker
+	// keeps computing, but its commits (gradient pushes and BN statistics)
+	// are dropped until a Heal event restores connectivity. Dropped commits
+	// consume no sample budget — like a crash's lost in-flight work, the
+	// computation is simply wasted. A partitioned worker with no Heal left
+	// on the timeline parks instead of spinning forever (see the engine's
+	// fleet layer).
+	Partition Kind = "partition"
+	// Heal reconnects a partitioned worker; its next commit lands normally.
+	Heal Kind = "heal"
 )
 
 // Event is one timeline entry, timestamped in virtual milliseconds.
@@ -93,7 +103,7 @@ func (s *Scenario) Validate() error {
 				return fmt.Errorf("scenario %q event %d: non-positive phase scales %v/%v",
 					s.Name, i, ev.CompScale, ev.CommScale)
 			}
-		case Crash, Recover, Join, Leave:
+		case Crash, Recover, Join, Leave, Partition, Heal:
 			if ev.Worker < 0 {
 				return fmt.Errorf("scenario %q event %d: %s needs a worker rank, got %d",
 					s.Name, i, ev.Kind, ev.Worker)
@@ -160,6 +170,24 @@ func Elastic() Scenario {
 	return s
 }
 
+// Partitioned subjects two workers to recurring network partitions: worker
+// 1 loses server connectivity every 3s for 800ms, worker 3 on a phase-
+// shifted cycle for 600ms. The workers keep computing through each cut —
+// the commits they push are dropped, which is what distinguishes a
+// partition from the Flaky scenario's crashes (no state or in-flight work
+// is lost, only server reachability).
+func Partitioned() Scenario {
+	return Scenario{
+		Name: "partition",
+		Events: []Event{
+			{At: 1000, Period: 3000, Kind: Partition, Worker: 1},
+			{At: 1800, Period: 3000, Kind: Heal, Worker: 1},
+			{At: 2200, Period: 3000, Kind: Partition, Worker: 3},
+			{At: 2800, Period: 3000, Kind: Heal, Worker: 3},
+		},
+	}
+}
+
 // Mixed overlays Congestion and Flaky: recurring fleet-wide contention plus
 // unreliable workers, the harshest canned setting.
 func Mixed() Scenario {
@@ -176,6 +204,7 @@ var canned = map[string]func() Scenario{
 	"congestion": Congestion,
 	"flaky":      Flaky,
 	"elastic":    Elastic,
+	"partition":  Partitioned,
 	"mixed":      Mixed,
 }
 

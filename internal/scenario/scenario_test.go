@@ -24,6 +24,8 @@ func TestValidateRejectsBadEvents(t *testing.T) {
 		{"negative period", Scenario{Events: []Event{{Period: -2, Kind: Crash, Worker: 0}}}, "negative period"},
 		{"unknown kind", Scenario{Events: []Event{{Kind: "explode", Worker: 0}}}, "unknown kind"},
 		{"crash without worker", Scenario{Events: []Event{{Kind: Crash, Worker: -1}}}, "needs a worker"},
+		{"partition without worker", Scenario{Events: []Event{{Kind: Partition, Worker: -1}}}, "needs a worker"},
+		{"heal without worker", Scenario{Events: []Event{{Kind: Heal, Worker: -1}}}, "needs a worker"},
 		{"zero phase scale", Scenario{Events: []Event{{Kind: PhaseShift, Worker: -1}}}, "phase scales"},
 		{"bad phase worker", Scenario{Events: []Event{{Kind: PhaseShift, Worker: -2, CompScale: 1, CommScale: 1}}}, "bad worker"},
 		{"negative initial", Scenario{InitialWorkers: -1}, "InitialWorkers"},
@@ -138,5 +140,35 @@ func TestFlakyPairsCrashWithRecovery(t *testing.T) {
 	}
 	if len(down) != 0 {
 		t.Fatalf("workers crash without recovery: %v", down)
+	}
+}
+
+func TestPartitionedPairsCutsWithHeals(t *testing.T) {
+	// Every Partition in the canned partition timeline must have a Heal for
+	// the same worker on the same period: a heal-less periodic partition
+	// would park the worker permanently after its final heal.
+	s := Partitioned()
+	heals := map[int][]Event{}
+	for _, ev := range s.Events {
+		if ev.Kind == Heal {
+			heals[ev.Worker] = append(heals[ev.Worker], ev)
+		}
+	}
+	for _, ev := range s.Events {
+		if ev.Kind != Partition {
+			continue
+		}
+		paired := false
+		for _, h := range heals[ev.Worker] {
+			if h.Period == ev.Period && h.At > ev.At {
+				paired = true
+			}
+		}
+		if !paired {
+			t.Fatalf("partition of worker %d at t=%v has no matching heal", ev.Worker, ev.At)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -49,6 +49,21 @@ func New() *Clock { return &Clock{} }
 // Now returns the current virtual time.
 func (c *Clock) Now() float64 { return c.now }
 
+// RestoreNow sets the clock to a checkpointed virtual time. It is the
+// resume path's first move — events re-armed afterwards carry absolute
+// times at or after t — and is only meaningful on a clock that has not
+// scheduled anything yet; restoring under pending events would reorder
+// causality, so it panics.
+func (c *Clock) RestoreNow(t float64) {
+	if len(c.queue) > 0 {
+		panic("simclock: RestoreNow with pending events")
+	}
+	if t < c.now {
+		panic("simclock: RestoreNow into the past")
+	}
+	c.now = t
+}
+
 // Processed returns the number of events run so far.
 func (c *Clock) Processed() uint64 { return c.processed }
 

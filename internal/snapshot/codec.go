@@ -1,0 +1,360 @@
+// Package snapshot is the run-persistence layer of the reproduction: a
+// versioned, deterministic binary codec for freezing training state
+// (weights, RNG stream positions, predictor windows, clock time) with
+// float64 values written as exact IEEE-754 bits, plus an on-disk experiment
+// store (store.go) that keeps configs, checkpoints, learning curves and
+// robustness tables in content-addressed run directories.
+//
+// The codec's contract is bit-exactness, not schema evolution: a snapshot
+// restored into the engine that wrote it replays the remaining run
+// float-bit-identically (see DESIGN.md "Persistence & resume"). The header
+// carries a magic string and a format version so foreign files, truncated
+// files and snapshots from a future format fail loudly instead of
+// corrupting a resume; a CRC-64 trailer catches bit rot in the payload.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+)
+
+// Magic identifies a snapshot stream; Version is the current format.
+const (
+	Magic   = "LCSN"
+	Version = 1
+)
+
+// maxLen caps length prefixes read from a stream: anything larger than this
+// is treated as corruption rather than attempted as an allocation.
+const maxLen = 1 << 31
+
+var (
+	// ErrBadMagic marks a stream that is not a snapshot at all.
+	ErrBadMagic = errors.New("snapshot: bad magic (not a snapshot file)")
+	// ErrFutureVersion marks a snapshot written by a newer format than this
+	// build understands.
+	ErrFutureVersion = errors.New("snapshot: snapshot from a future format version")
+	// ErrChecksum marks a payload whose CRC trailer does not match.
+	ErrChecksum = errors.New("snapshot: checksum mismatch (corrupted snapshot)")
+	// ErrCorrupt marks a structurally implausible stream (oversized length
+	// prefix, impossible value).
+	ErrCorrupt = errors.New("snapshot: corrupted snapshot")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Writer serializes values little-endian with a running CRC. Errors are
+// sticky: the first write failure is remembered and every later call is a
+// no-op, so call sites stay linear and check Close once.
+type Writer struct {
+	w       io.Writer
+	crc     uint64
+	err     error
+	scratch [8]byte
+}
+
+// NewWriter starts a snapshot stream on w by emitting the header.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w}
+	sw.raw([]byte(Magic))
+	sw.U64(Version)
+	return sw
+}
+
+// raw writes bytes, folding them into the CRC.
+func (w *Writer) raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc64.Update(w.crc, crcTable, b)
+	_, w.err = w.w.Write(b)
+}
+
+// U64 writes a fixed 8-byte little-endian unsigned integer.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.scratch[:], v)
+	w.raw(w.scratch[:])
+}
+
+// I64 writes a signed integer.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes a platform int as i64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a boolean as one u64 (compactness is not a goal; determinism
+// and simplicity are).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U64(1)
+	} else {
+		w.U64(0)
+	}
+}
+
+// F64 writes a float64 as its exact IEEE-754 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String writes a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.raw([]byte(s))
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	w.raw(b)
+}
+
+// F64s writes a length-prefixed float64 slice, each element bit-exact.
+func (w *Writer) F64s(v []float64) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.F64(x)
+	}
+}
+
+// Ints writes a length-prefixed []int.
+func (w *Writer) Ints(v []int) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.Int(x)
+	}
+}
+
+// U64s writes a length-prefixed []uint64.
+func (w *Writer) U64s(v []uint64) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.U64(x)
+	}
+}
+
+// Bools writes a length-prefixed []bool.
+func (w *Writer) Bools(v []bool) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.Bool(x)
+	}
+}
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close appends the CRC-64 trailer and returns the sticky error. The
+// trailer itself is excluded from the CRC.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	binary.LittleEndian.PutUint64(w.scratch[:], w.crc)
+	_, w.err = w.w.Write(w.scratch[:])
+	return w.err
+}
+
+// Reader deserializes a snapshot stream. Like Writer, errors are sticky;
+// zero values are returned after a failure, and Close verifies the CRC
+// trailer against everything read.
+type Reader struct {
+	r       io.Reader
+	crc     uint64
+	err     error
+	scratch [8]byte
+}
+
+// NewReader validates the header on r and returns a reader positioned at
+// the first payload value. It returns ErrBadMagic for foreign streams and
+// ErrFutureVersion (wrapped with the found version) for newer formats.
+func NewReader(r io.Reader) (*Reader, error) {
+	sr := &Reader{r: r}
+	var magic [len(Magic)]byte
+	sr.raw(magic[:])
+	if sr.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, sr.err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	v := sr.U64()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if v > Version {
+		return nil, fmt.Errorf("%w: format %d, this build reads <= %d", ErrFutureVersion, v, Version)
+	}
+	return sr, nil
+}
+
+// raw fills b fully, folding it into the CRC. Short reads surface as
+// ErrCorrupt-wrapped errors so truncated files are diagnosed as such.
+func (r *Reader) raw(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: truncated stream", ErrCorrupt)
+		}
+		r.err = err
+		return
+	}
+	r.crc = crc64.Update(r.crc, crcTable, b)
+}
+
+// U64 reads a fixed 8-byte little-endian unsigned integer.
+func (r *Reader) U64() uint64 {
+	r.raw(r.scratch[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.scratch[:])
+}
+
+// I64 reads a signed integer.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads a platform int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U64() != 0 }
+
+// F64 reads a float64 from its exact bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// length reads and sanity-checks a length prefix.
+func (r *Reader) length() int {
+	n := r.U64()
+	if r.err == nil && n > maxLen {
+		r.err = fmt.Errorf("%w: implausible length %d", ErrCorrupt, n)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length()
+	if n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	r.raw(b)
+	if r.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := r.length()
+	b := make([]byte, n)
+	r.raw(b)
+	if r.err != nil {
+		return nil
+	}
+	return b
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (r *Reader) F64s() []float64 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.F64()
+	}
+	return v
+}
+
+// F64sInto reads a length-prefixed float64 slice into dst, requiring the
+// stored length to match — the shape-validated restore path for buffers the
+// engine has already allocated.
+func (r *Reader) F64sInto(dst []float64) {
+	n := r.length()
+	if r.err == nil && n != len(dst) {
+		r.err = fmt.Errorf("%w: stored %d values, want %d", ErrCorrupt, n, len(dst))
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		dst[i] = r.F64()
+	}
+}
+
+// Ints reads a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = r.Int()
+	}
+	return v
+}
+
+// U64s reads a length-prefixed []uint64.
+func (r *Reader) U64s() []uint64 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = r.U64()
+	}
+	return v
+}
+
+// Bools reads a length-prefixed []bool.
+func (r *Reader) Bools() []bool {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = r.Bool()
+	}
+	return v
+}
+
+// Err returns the sticky error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Fail injects err as the sticky error (used by callers that detect a
+// semantic inconsistency — wrong worker count, mismatched layer shapes —
+// while decoding).
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Close reads the CRC trailer and verifies it against everything consumed.
+// It must be called after the last payload value; a mismatch (or an earlier
+// sticky error) is returned.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	sum := r.crc // captured before the trailer read folds into it
+	var trailer [8]byte
+	if _, err := io.ReadFull(r.r, trailer[:]); err != nil {
+		return fmt.Errorf("%w: missing checksum trailer", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint64(trailer[:]) != sum {
+		return ErrChecksum
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// roundTrip writes a fixed value sequence and returns the encoded stream.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(42)
+	w.I64(-7)
+	w.Int(123456)
+	w.Bool(true)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.F64(math.Copysign(0, -1))
+	w.String("lc-asgd")
+	w.F64s([]float64{1.5, -2.25, 0, math.MaxFloat64})
+	w.Ints([]int{3, -1, 4})
+	w.U64s([]uint64{9, 0, math.MaxUint64})
+	w.Bools([]bool{true, false, true})
+	w.Bytes([]byte{0xde, 0xad})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCodecRoundTripBitExact(t *testing.T) {
+	data := encodeSample(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.U64(); v != 42 {
+		t.Fatalf("u64 %d", v)
+	}
+	if v := r.I64(); v != -7 {
+		t.Fatalf("i64 %d", v)
+	}
+	if v := r.Int(); v != 123456 {
+		t.Fatalf("int %d", v)
+	}
+	if !r.Bool() {
+		t.Fatal("bool")
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("f64 %v", v)
+	}
+	if v := r.F64(); !math.IsInf(v, -1) {
+		t.Fatalf("-inf became %v", v)
+	}
+	// -0.0 must survive as exactly -0.0: bit-identity, not value equality.
+	if bits := math.Float64bits(r.F64()); bits != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("-0.0 bits %x", bits)
+	}
+	if s := r.String(); s != "lc-asgd" {
+		t.Fatalf("string %q", s)
+	}
+	f := r.F64s()
+	if len(f) != 4 || f[0] != 1.5 || f[1] != -2.25 || f[2] != 0 || f[3] != math.MaxFloat64 {
+		t.Fatalf("f64s %v", f)
+	}
+	if i := r.Ints(); len(i) != 3 || i[0] != 3 || i[1] != -1 || i[2] != 4 {
+		t.Fatalf("ints %v", i)
+	}
+	if u := r.U64s(); len(u) != 3 || u[2] != math.MaxUint64 {
+		t.Fatalf("u64s %v", u)
+	}
+	if b := r.Bools(); len(b) != 3 || !b[0] || b[1] || !b[2] {
+		t.Fatalf("bools %v", b)
+	}
+	if b := r.Bytes(); len(b) != 2 || b[0] != 0xde || b[1] != 0xad {
+		t.Fatalf("bytes %v", b)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestCodecNaNPayloadPreserved(t *testing.T) {
+	// A NaN with a nonstandard payload must round-trip bit-exactly.
+	nan := math.Float64frombits(0x7ff80000deadbeef)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64(nan)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64bits(r.F64()); got != 0x7ff80000deadbeef {
+		t.Fatalf("NaN payload %x", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsWrongMagic(t *testing.T) {
+	data := encodeSample(t)
+	data[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err %v, want ErrBadMagic", err)
+	}
+	// An empty stream is also not a snapshot.
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty stream err %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(Magic)] = Version + 1 // bump the little-endian version field
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrFutureVersion) {
+		t.Fatalf("err %v, want ErrFutureVersion", err)
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	data := encodeSample(t)
+	// Cut mid-payload: some read (or Close) must report corruption.
+	r, err := NewReader(bytes.NewReader(data[:len(data)/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64 && r.Err() == nil; i++ {
+		r.U64()
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err %v, want ErrCorrupt", r.Err())
+	}
+	if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("close err %v, want ErrCorrupt", err)
+	}
+	// Cutting only the trailer must fail Close even though every payload
+	// value decodes.
+	r2, err := NewReader(bytes.NewReader(data[:len(data)-4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drainSample(r2); err == nil {
+		t.Fatal("truncated trailer not detected")
+	}
+}
+
+func TestReaderDetectsBitFlip(t *testing.T) {
+	data := encodeSample(t)
+	data[20] ^= 0x40 // flip one payload bit
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drainSample(r); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err %v, want checksum/corruption", err)
+	}
+}
+
+func TestReaderRejectsImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1 << 40) // masquerades as a length prefix
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.F64s(); v != nil {
+		t.Fatalf("decoded %d elements from a bogus length", len(v))
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestF64sIntoValidatesLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64s([]float64{1, 2, 3})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 2)
+	r.F64sInto(dst)
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err %v, want ErrCorrupt on length mismatch", r.Err())
+	}
+}
+
+// drainSample consumes the sample sequence and returns Close's verdict.
+func drainSample(r *Reader) error {
+	r.U64()
+	r.I64()
+	r.Int()
+	r.Bool()
+	r.F64()
+	r.F64()
+	r.F64()
+	_ = r.String()
+	r.F64s()
+	r.Ints()
+	r.U64s()
+	r.Bools()
+	r.Bytes()
+	return r.Close()
+}

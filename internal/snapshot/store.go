@@ -1,0 +1,224 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is the on-disk experiment store: one content-addressed directory
+// per run (keyed by the run's configuration hash) holding the config, the
+// latest checkpoint, the learning curve and the final result, plus a
+// tables/ area for sweep-level artifacts (robustness grids). The layout is
+// what makes `lcexp -resume` cheap: a completed run is one JSON load, an
+// interrupted one resumes from its last checkpoint, and only never-started
+// runs pay full compute.
+//
+//	<root>/runs/<key>/config.json   run configuration + profile metadata
+//	                  ckpt.bin      latest checkpoint (codec stream)
+//	                  ckpt.json     checkpoint metadata (epoch, progress)
+//	                  curve.json    learning-curve points of the final result
+//	                  result.json   full final result; its presence marks the
+//	                                run complete
+//	<root>/tables/<name>.json|.txt  sweep artifacts
+//
+// All writes are atomic (temp file + rename), so a run killed mid-write
+// leaves the previous artifact intact rather than a truncated one.
+type Store struct {
+	root string
+}
+
+// ErrNoCheckpoint reports that a run directory holds no checkpoint yet.
+var ErrNoCheckpoint = errors.New("snapshot: no checkpoint in run directory")
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("snapshot: empty store path")
+	}
+	for _, sub := range []string{"runs", "tables"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("snapshot: open store: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Run returns the run directory for the given content key, creating it on
+// first use. Keys are hex config hashes; the directory name is the first 16
+// characters, enough to be unique and short enough to read.
+func (s *Store) Run(key string) (*RunDir, error) {
+	if len(key) < 16 {
+		return nil, fmt.Errorf("snapshot: run key %q too short", key)
+	}
+	dir := filepath.Join(s.root, "runs", key[:16])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: run dir: %w", err)
+	}
+	return &RunDir{dir: dir, key: key}, nil
+}
+
+// Runs lists the run-directory names currently in the store, sorted.
+func (s *Store) Runs() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "runs"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SaveTable writes a sweep-level artifact twice: the structured rows as
+// <name>.json and the rendered text as <name>.txt.
+func (s *Store) SaveTable(name string, rows any, text string) error {
+	if err := writeJSONAtomic(filepath.Join(s.root, "tables", name+".json"), rows); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(s.root, "tables", name+".txt"), []byte(text))
+}
+
+// RunDir is one run's artifact directory.
+type RunDir struct {
+	dir string
+	key string
+}
+
+// Dir returns the directory path.
+func (r *RunDir) Dir() string { return r.dir }
+
+// Key returns the full content key the directory was opened under.
+func (r *RunDir) Key() string { return r.key }
+
+// CkptMeta describes a stored checkpoint without decoding its payload.
+type CkptMeta struct {
+	Key       string  `json:"key"` // full config hash, for collision detection
+	Epoch     int     `json:"epoch"`
+	Batches   int     `json:"batches"`
+	Updates   int     `json:"updates"`
+	VirtualMs float64 `json:"virtual_ms"`
+}
+
+// WriteConfig stores the run's configuration document (overwriting — the
+// config is derived from the key, so rewrites are idempotent).
+func (r *RunDir) WriteConfig(v any) error {
+	return writeJSONAtomic(filepath.Join(r.dir, "config.json"), v)
+}
+
+// SaveCheckpoint atomically replaces the run's checkpoint and its metadata.
+// Only the latest checkpoint is kept: resume wants the most recent quiescent
+// state, and keeping every barrier would grow the store linearly with run
+// length for no resume benefit.
+func (r *RunDir) SaveCheckpoint(data []byte, meta CkptMeta) error {
+	meta.Key = r.key
+	if err := writeFileAtomic(filepath.Join(r.dir, "ckpt.bin"), data); err != nil {
+		return err
+	}
+	return writeJSONAtomic(filepath.Join(r.dir, "ckpt.json"), meta)
+}
+
+// LoadCheckpoint returns the stored checkpoint payload and metadata, or
+// ErrNoCheckpoint when the run has none. A key mismatch (two configs
+// colliding on the same 16-char directory) is surfaced rather than resumed.
+func (r *RunDir) LoadCheckpoint() ([]byte, CkptMeta, error) {
+	var meta CkptMeta
+	if err := readJSON(filepath.Join(r.dir, "ckpt.json"), &meta); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, meta, ErrNoCheckpoint
+		}
+		return nil, meta, err
+	}
+	if meta.Key != "" && meta.Key != r.key {
+		return nil, meta, fmt.Errorf("snapshot: run dir %s holds checkpoint for key %.16s…, want %.16s…",
+			r.dir, meta.Key, r.key)
+	}
+	data, err := os.ReadFile(filepath.Join(r.dir, "ckpt.bin"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, meta, ErrNoCheckpoint
+		}
+		return nil, meta, err
+	}
+	return data, meta, nil
+}
+
+// SaveResult stores the final result document and marks the run complete.
+func (r *RunDir) SaveResult(v any) error {
+	return writeJSONAtomic(filepath.Join(r.dir, "result.json"), v)
+}
+
+// LoadResult decodes the final result into v; fs.ErrNotExist when the run
+// never completed.
+func (r *RunDir) LoadResult(v any) error {
+	return readJSON(filepath.Join(r.dir, "result.json"), v)
+}
+
+// HasResult reports whether the run completed (result.json exists).
+func (r *RunDir) HasResult() bool {
+	_, err := os.Stat(filepath.Join(r.dir, "result.json"))
+	return err == nil
+}
+
+// SaveCurve stores the learning-curve points separately from the full
+// result so plotting tools can grab just the series.
+func (r *RunDir) SaveCurve(v any) error {
+	return writeJSONAtomic(filepath.Join(r.dir, "curve.json"), v)
+}
+
+// writeJSONAtomic marshals v (indented, trailing newline) and writes it
+// atomically.
+func writeJSONAtomic(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: marshal %s: %w", filepath.Base(path), err)
+	}
+	return writeFileAtomic(path, append(b, '\n'))
+}
+
+// writeFileAtomic writes data to path via a temp file + rename so readers
+// never observe a partial artifact.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("snapshot: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("snapshot: close %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("snapshot: decode %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRunLifecycle(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0123456789abcdef0123456789abcdef"
+	rd, err := st.Run(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.HasResult() {
+		t.Fatal("fresh run dir claims a result")
+	}
+	if _, _, err := rd.LoadCheckpoint(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err %v, want ErrNoCheckpoint", err)
+	}
+
+	if err := rd.WriteConfig(map[string]any{"algo": "ASGD", "seed": 7}); err != nil {
+		t.Fatal(err)
+	}
+	ck := []byte("pretend-checkpoint-bytes")
+	if err := rd.SaveCheckpoint(ck, CkptMeta{Epoch: 3, Batches: 120, Updates: 118, VirtualMs: 4200.5}); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, err := rd.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(ck) || meta.Epoch != 3 || meta.Key != key {
+		t.Fatalf("checkpoint round-trip: %q %+v", data, meta)
+	}
+
+	type res struct {
+		Err  float64
+		Pts  int
+		Name string
+	}
+	if err := rd.SaveResult(res{Err: 0.125, Pts: 12, Name: "asgd"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.SaveCurve([]float64{1, 0.5, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	var back res
+	if err := rd.LoadResult(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err != 0.125 || back.Pts != 12 || back.Name != "asgd" {
+		t.Fatalf("result round-trip: %+v", back)
+	}
+	if !rd.HasResult() {
+		t.Fatal("completed run not detected")
+	}
+
+	// Reopening the store finds the same run.
+	st2, err := OpenStore(st.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := st2.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0] != key[:16] {
+		t.Fatalf("runs: %v", runs)
+	}
+}
+
+func TestStoreDetectsKeyCollision(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two keys sharing a 16-char prefix map to the same directory; loading
+	// the other key's checkpoint must fail rather than resume a wrong run.
+	a := "aaaaaaaaaaaaaaaa1111111111111111"
+	b := "aaaaaaaaaaaaaaaa2222222222222222"
+	ra, err := st.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.SaveCheckpoint([]byte("x"), CkptMeta{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := st.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rb.LoadCheckpoint(); err == nil {
+		t.Fatal("collision not detected")
+	}
+}
+
+func TestStoreSaveTable(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []map[string]any{{"algo": "SSGD", "err": 0.2}}
+	if err := st.SaveTable("robustness", rows, "rendered table\n"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"robustness.json", "robustness.txt"} {
+		if _, err := os.Stat(filepath.Join(st.Root(), "tables", name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestStoreRejectsShortKey(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run("short"); err == nil {
+		t.Fatal("short key accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package trainer
+
+import (
+	"errors"
+	"fmt"
+
+	"lcasgd/internal/ps"
+	"lcasgd/internal/snapshot"
+)
+
+// This file wires the experiment store into the cell runner: every run
+// under a Profile with a Store becomes durable. The lifecycle per cell,
+// keyed by ps.ConfigKey (so the same cell in a re-invoked sweep lands in
+// the same run directory):
+//
+//  1. Resume mode + result.json present  →  load the stored result, run
+//     nothing. This is what makes `lcexp -resume` skip completed runs.
+//  2. Resume mode + checkpoint present   →  ps.Resume from the latest
+//     barrier; only the remaining epochs are computed, and the result is
+//     bit-identical to an uninterrupted run (ps's resume-equivalence
+//     contract).
+//  3. Otherwise                          →  full run, with every barrier's
+//     checkpoint persisted so a kill at any point loses at most
+//     CkptEvery epochs of work.
+//
+// Store failures panic: the whole point of a persisted sweep is that its
+// artifacts survive, so silently continuing without them would be worse
+// than stopping.
+
+// storedConfig is the human-readable config.json document of a run
+// directory.
+type storedConfig struct {
+	Profile string    `json:"profile"`
+	Key     string    `json:"key"`
+	Config  ps.Config `json:"config"`
+}
+
+// runCellPersisted executes env through the profile's experiment store.
+func runCellPersisted(p Profile, env ps.Env) ps.Result {
+	cfg := env.Cfg
+	key := ps.ConfigKey(cfg)
+	rd, err := p.Store.Run(key)
+	if err != nil {
+		panic(fmt.Sprintf("trainer: experiment store: %v", err))
+	}
+
+	if p.Resume && rd.HasResult() {
+		var res ps.Result
+		if err := rd.LoadResult(&res); err == nil {
+			return res
+		}
+		// A corrupt result document falls through to recomputation.
+	}
+
+	if err := rd.WriteConfig(storedConfig{Profile: p.Name, Key: key, Config: cfg}); err != nil {
+		panic(fmt.Sprintf("trainer: experiment store: %v", err))
+	}
+	env.CheckpointSink = func(ck ps.Checkpoint) error {
+		return rd.SaveCheckpoint(ck.Data, snapshot.CkptMeta{
+			Epoch: ck.Epoch, Batches: ck.Batches, Updates: ck.Updates, VirtualMs: ck.VirtualMs,
+		})
+	}
+
+	res, ran := resumeFromCheckpoint(p, env, rd)
+	if !ran {
+		res = ps.Run(env)
+	}
+
+	if err := rd.SaveResult(res); err != nil {
+		panic(fmt.Sprintf("trainer: experiment store: %v", err))
+	}
+	if err := rd.SaveCurve(res.Points); err != nil {
+		panic(fmt.Sprintf("trainer: experiment store: %v", err))
+	}
+	return res
+}
+
+// resumeFromCheckpoint attempts case 2 of the lifecycle. A missing
+// checkpoint is the normal fresh-run path; an unreadable or incompatible
+// one (corrupted file, changed binary semantics) falls back to a full
+// re-run rather than aborting the sweep.
+func resumeFromCheckpoint(p Profile, env ps.Env, rd *snapshot.RunDir) (ps.Result, bool) {
+	if !p.Resume || env.Cfg.CheckpointEvery <= 0 {
+		return ps.Result{}, false
+	}
+	data, _, err := rd.LoadCheckpoint()
+	if err != nil {
+		if !errors.Is(err, snapshot.ErrNoCheckpoint) {
+			panic(fmt.Sprintf("trainer: experiment store: %v", err))
+		}
+		return ps.Result{}, false
+	}
+	res, err := ps.Resume(env, data)
+	if err != nil {
+		return ps.Result{}, false
+	}
+	return res, true
+}

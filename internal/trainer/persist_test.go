@@ -1,0 +1,192 @@
+package trainer
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcasgd/internal/core"
+	"lcasgd/internal/ps"
+	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
+)
+
+// persistProfile is tinyProfile wired to a store with every-epoch barriers.
+func persistProfile(t *testing.T, dir string, resume bool) Profile {
+	t.Helper()
+	st, err := snapshot.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyProfile()
+	p.Store = st
+	p.CkptEvery = 1
+	p.Resume = resume
+	return p
+}
+
+func assertSameResult(t *testing.T, label string, a, b ps.Result) {
+	t.Helper()
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: point counts %d vs %d", label, len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("%s: point %d differs: %+v vs %+v", label, i, a.Points[i], b.Points[i])
+		}
+	}
+	if a.FinalTestErr != b.FinalTestErr || a.Updates != b.Updates || a.VirtualMs != b.VirtualMs {
+		t.Fatalf("%s: summaries differ: (%v,%d,%v) vs (%v,%d,%v)", label,
+			a.FinalTestErr, a.Updates, a.VirtualMs, b.FinalTestErr, b.Updates, b.VirtualMs)
+	}
+}
+
+// TestPersistedCellLifecycle drives one cell through the store's three
+// lifecycle cases: fresh run (artifacts written), completed run under
+// -resume (stored result returned without recompute), and interrupted run
+// under -resume (checkpoint-resumed, bit-identical to the uninterrupted
+// answer — including after a corrupted checkpoint forces the full-re-run
+// fallback).
+func TestPersistedCellLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	p := persistProfile(t, dir, false)
+
+	// Fresh run: every artifact lands in the content-addressed run dir.
+	orig := RunCell(p, ps.ASGD, 4, core.BNAsync, 1)
+	key := ps.ConfigKey(cellConfig(p, ps.ASGD, 4, core.BNAsync, 1))
+	rd, err := p.Store.Run(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.HasResult() {
+		t.Fatal("completed run left no result.json")
+	}
+	for _, name := range []string{"config.json", "ckpt.bin", "ckpt.json", "curve.json"} {
+		if _, err := os.Stat(filepath.Join(rd.Dir(), name)); err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+	}
+
+	// Completed + resume: the stored result is returned as-is. Proven by
+	// planting a sentinel in result.json — a recompute could never produce
+	// it.
+	var doc ps.Result
+	if err := rd.LoadResult(&doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.FinalTestErr = 0.123456789
+	if err := rd.SaveResult(doc); err != nil {
+		t.Fatal(err)
+	}
+	pr := persistProfile(t, dir, true)
+	cached := RunCell(pr, ps.ASGD, 4, core.BNAsync, 1)
+	if cached.FinalTestErr != 0.123456789 {
+		t.Fatalf("resume re-ran a completed cell (got %v, want sentinel)", cached.FinalTestErr)
+	}
+
+	// Interrupted + resume: deleting result.json simulates a kill after the
+	// last barrier; the resumed run must reproduce the uninterrupted result
+	// bit for bit.
+	if err := os.Remove(filepath.Join(rd.Dir(), "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	resumed := RunCell(pr, ps.ASGD, 4, core.BNAsync, 1)
+	assertSameResult(t, "interrupted", orig, resumed)
+	if !rd.HasResult() {
+		t.Fatal("resumed run did not re-persist its result")
+	}
+
+	// Corrupted checkpoint: resume falls back to a full re-run, same answer.
+	if err := os.Remove(filepath.Join(rd.Dir(), "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(rd.Dir(), "ckpt.bin"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered := RunCell(pr, ps.ASGD, 4, core.BNAsync, 1)
+	assertSameResult(t, "corrupt-fallback", orig, recovered)
+}
+
+// TestPersistedCellsAreContentAddressed: different configurations land in
+// different run directories, identical ones share.
+func TestPersistedCellsAreContentAddressed(t *testing.T) {
+	dir := t.TempDir()
+	p := persistProfile(t, dir, false)
+	RunCell(p, ps.ASGD, 4, core.BNAsync, 1)
+	RunCell(p, ps.ASGD, 4, core.BNAsync, 2) // different seed
+	RunCell(p, ps.ASGD, 4, core.BNAsync, 1) // repeat: same dir
+	runs, err := p.Store.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("store holds %d run dirs, want 2", len(runs))
+	}
+}
+
+// TestRobustnessSeedAveraging pins the -seeds semantics: multi-seed rows
+// report the mean with a non-negative spread, single-seed rows a zero one,
+// and the recover-opt option doubles the rows with the variant marked.
+func TestRobustnessSeedAveraging(t *testing.T) {
+	p := tinyProfile()
+	p.Epochs = 2
+	scns := []scenario.Scenario{
+		{Name: "blip", Events: []scenario.Event{
+			{At: 100, Kind: scenario.Crash, Worker: 1},
+			{At: 170, Kind: scenario.Recover, Worker: 1},
+		}},
+	}
+	rows := Robustness(p, 4, 1, scns, RobustnessOpts{Seeds: 2, RecoverOpt: true})
+	if len(rows) != 2*len(RobustnessAlgos) {
+		t.Fatalf("rows %d, want %d (base + recover-opt per algorithm)", len(rows), 2*len(RobustnessAlgos))
+	}
+	variants := map[string]int{}
+	for _, r := range rows {
+		variants[r.Variant]++
+		if r.Seeds != 2 {
+			t.Fatalf("row %+v reports %d seeds", r, r.Seeds)
+		}
+		if r.ErrSpread < 0 {
+			t.Fatalf("negative spread in %+v", r)
+		}
+		if r.FinalTestErr < 0 || r.FinalTestErr > 1 {
+			t.Fatalf("row %+v has invalid mean error", r)
+		}
+	}
+	if variants[""] != len(RobustnessAlgos) || variants["recover-opt"] != len(RobustnessAlgos) {
+		t.Fatalf("variant counts %v", variants)
+	}
+	out := RenderRobustness(p, 4, rows).String()
+	for _, want := range []string{"recover-opt", "±spread", "seeds=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRobustnessTablePersists: the sweep's table artifacts land in the
+// store's tables/ area and decode back.
+func TestRobustnessTablePersists(t *testing.T) {
+	dir := t.TempDir()
+	p := persistProfile(t, dir, false)
+	p.Epochs = 2
+	scns := []scenario.Scenario{scenario.None()}
+	rows := Robustness(p, 2, 1, scns, RobustnessOpts{})
+	tb := RenderRobustness(p, 2, rows)
+	if err := p.Store.SaveTable("robustness", rows, tb.String()); err != nil {
+		t.Fatal(err)
+	}
+	var back []RobustnessRow
+	b, err := os.ReadFile(filepath.Join(dir, "tables", "robustness.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0].Algo != rows[0].Algo {
+		t.Fatalf("table round-trip: %d rows", len(back))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"lcasgd/internal/model"
 	"lcasgd/internal/ps"
 	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
 )
 
 // Profile is one (dataset, model, training recipe) combination. Quick
@@ -40,10 +41,21 @@ type Profile struct {
 	Backend ps.BackendKind
 
 	// Scenario replays a timeline of cluster events (congestion phases,
-	// crashes/recoveries, elastic resizes) during every cell run under this
-	// profile; nil means the paper's stationary cluster (cmd/lcexp
-	// -scenario).
+	// crashes/recoveries, elastic resizes, network partitions) during every
+	// cell run under this profile; nil means the paper's stationary cluster
+	// (cmd/lcexp -scenario).
 	Scenario *scenario.Scenario
+
+	// Store, when non-nil, persists every cell run under this profile into
+	// the experiment store: config, checkpoints at every CkptEvery epochs,
+	// the learning curve and the final result, keyed by ps.ConfigKey
+	// (cmd/lcexp -ckpt-dir). With Resume set, completed cells load their
+	// stored result instead of re-running and interrupted cells resume from
+	// their last checkpoint — which is what lets a killed sweep continue
+	// without redoing finished work (cmd/lcexp -resume).
+	Store     *snapshot.Store
+	CkptEvery int
+	Resume    bool
 }
 
 // QuickCIFAR is the CPU-budget CIFAR-10-like cell used by tests and benches.
@@ -109,22 +121,23 @@ func FullImageNet() Profile {
 // cellConfig assembles the ps.Config for one experiment cell.
 func cellConfig(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64) ps.Config {
 	return ps.Config{
-		Algo:           algo,
-		Workers:        workers,
-		BatchSize:      p.Batch,
-		Epochs:         p.Epochs,
-		LR:             p.LR,
-		Lambda:         p.Lambda,
-		DCLambda:       p.DCLam,
-		WeightDecay:    p.WD,
-		BNMode:         bnMode,
-		BNDecay:        p.BNDecay,
-		Seed:           seed,
-		Cost:           p.Cost,
-		LossPredHidden: p.LossPredHidden,
-		StepPredHidden: p.StepPredHidden,
-		Backend:        p.Backend,
-		Scenario:       p.Scenario,
+		Algo:            algo,
+		Workers:         workers,
+		BatchSize:       p.Batch,
+		Epochs:          p.Epochs,
+		LR:              p.LR,
+		Lambda:          p.Lambda,
+		DCLambda:        p.DCLam,
+		WeightDecay:     p.WD,
+		BNMode:          bnMode,
+		BNDecay:         p.BNDecay,
+		Seed:            seed,
+		Cost:            p.Cost,
+		LossPredHidden:  p.LossPredHidden,
+		StepPredHidden:  p.StepPredHidden,
+		Backend:         p.Backend,
+		Scenario:        p.Scenario,
+		CheckpointEvery: p.CkptEvery,
 	}
 }
 
@@ -143,5 +156,8 @@ func RunCellCfg(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed u
 		mutate(&cfg)
 	}
 	env := ps.Env{Train: train, Test: test, Build: p.Model.Build, Cfg: cfg}
+	if p.Store != nil {
+		return runCellPersisted(p, env)
+	}
 	return ps.Run(env)
 }

@@ -14,56 +14,160 @@ import (
 // fully synchronous to fully prediction-compensated.
 var RobustnessAlgos = []ps.Algo{ps.SSGD, ps.ASGD, ps.SAASGD, ps.DCASGD, ps.LCASGD}
 
-// RobustnessRow is one cell of the robustness grid: how one algorithm fared
-// under one scenario.
+// RobustnessOpts parameterizes the robustness sweep beyond the grid axes.
+type RobustnessOpts struct {
+	// Seeds is how many seeds each cell averages over (base seed, base+1,
+	// …); values below 1 mean a single seed. With several seeds the rows
+	// carry mean final error plus its spread (max − min), the robustness
+	// table's analogue of the paper's seed-averaged headline numbers.
+	Seeds int
+	// RecoverOpt adds a second row per (scenario, algorithm) in which
+	// recovered workers restore the last checkpoint's server snapshot
+	// instead of pulling fresh state (ps.Config.RecoverOpt) — the
+	// lost-momentum variant behind `lcexp -recover-opt`. To keep the
+	// variant delta about recovery semantics alone, the whole sweep
+	// (base rows included) then runs with a checkpoint barrier every
+	// epoch unless the profile already sets a cadence, and variant rows
+	// are emitted only for scenarios that actually contain a Recover
+	// event — elsewhere they would be bit-identical to the base row.
+	RecoverOpt bool
+}
+
+// RobustnessRow is one cell of the robustness grid: how one algorithm
+// (variant) fared under one scenario, aggregated over seeds.
 type RobustnessRow struct {
-	Scenario      string
-	Algo          ps.Algo
-	FinalTestErr  float64
-	MeanStaleness float64
-	MaxStaleness  int
-	Updates       int
-	VirtualMs     float64
-	Events        int // scenario events that actually applied
+	Scenario string
+	Algo     ps.Algo
+	// Variant is "" for the standard recovery semantics and "recover-opt"
+	// for checkpoint-restore recovery.
+	Variant string
+	Seeds   int
+
+	FinalTestErr  float64 // mean over seeds
+	ErrSpread     float64 // max − min over seeds (0 with one seed)
+	MeanStaleness float64 // mean over seeds
+	MaxStaleness  int     // max over seeds
+	Updates       int     // mean over seeds
+	VirtualMs     float64 // mean over seeds
+	Events        int     // max over seeds: scenario events that applied
 }
 
 // Robustness runs every RobustnessAlgos algorithm under every scenario at
 // the given worker count — the experiment behind the robustness table in
 // DESIGN.md. The stationary paper cluster is row zero when scns includes
 // scenario.None(), so degradation reads directly against it. The scenario
-// overrides any Profile.Scenario for these runs.
-func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario) []RobustnessRow {
+// overrides any Profile.Scenario for these runs; with a profile Store every
+// underlying cell persists, so an interrupted sweep resumes per cell.
+func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario, opts RobustnessOpts) []RobustnessRow {
+	if opts.Seeds < 1 {
+		opts.Seeds = 1
+	}
+	type variant struct {
+		name string
+		mut  func(*ps.Config)
+	}
+	// With RecoverOpt requested, every cell — base rows included — runs on
+	// the same checkpoint-barrier timeline, so a variant row differs from
+	// its base row only in what recovered workers pull.
+	base := variant{mut: func(c *ps.Config) {
+		if opts.RecoverOpt && c.CheckpointEvery == 0 {
+			c.CheckpointEvery = 1
+		}
+	}}
+	recOpt := variant{name: "recover-opt", mut: func(c *ps.Config) {
+		c.RecoverOpt = true
+		if c.CheckpointEvery == 0 {
+			c.CheckpointEvery = 1
+		}
+	}}
+
 	var rows []RobustnessRow
 	for i := range scns {
 		scn := &scns[i]
+		variants := []variant{base}
+		if opts.RecoverOpt && hasRecovery(scn) {
+			variants = append(variants, recOpt)
+		}
 		for _, algo := range RobustnessAlgos {
-			res := RunCellCfg(p, algo, workers, core.BNAsync, seed, func(c *ps.Config) {
-				c.Scenario = scn
-			})
-			rows = append(rows, RobustnessRow{
-				Scenario:      scn.Name,
-				Algo:          algo,
-				FinalTestErr:  res.FinalTestErr,
-				MeanStaleness: res.MeanStaleness,
-				MaxStaleness:  res.MaxStaleness,
-				Updates:       res.Updates,
-				VirtualMs:     res.VirtualMs,
-				Events:        res.ScenarioEvents,
-			})
+			for _, v := range variants {
+				row := RobustnessRow{Scenario: scn.Name, Algo: algo, Variant: v.name, Seeds: opts.Seeds}
+				loErr, hiErr := 0.0, 0.0
+				for s := 0; s < opts.Seeds; s++ {
+					mut := v.mut
+					res := RunCellCfg(p, algo, workers, core.BNAsync, seed+uint64(s), func(c *ps.Config) {
+						c.Scenario = scn
+						if mut != nil {
+							mut(c)
+						}
+					})
+					if s == 0 || res.FinalTestErr < loErr {
+						loErr = res.FinalTestErr
+					}
+					if s == 0 || res.FinalTestErr > hiErr {
+						hiErr = res.FinalTestErr
+					}
+					row.FinalTestErr += res.FinalTestErr
+					row.MeanStaleness += res.MeanStaleness
+					row.Updates += res.Updates
+					row.VirtualMs += res.VirtualMs
+					if res.MaxStaleness > row.MaxStaleness {
+						row.MaxStaleness = res.MaxStaleness
+					}
+					if res.ScenarioEvents > row.Events {
+						row.Events = res.ScenarioEvents
+					}
+				}
+				n := float64(opts.Seeds)
+				row.FinalTestErr /= n
+				row.MeanStaleness /= n
+				row.VirtualMs /= n
+				row.Updates /= opts.Seeds
+				row.ErrSpread = hiErr - loErr
+				rows = append(rows, row)
+			}
 		}
 	}
 	return rows
 }
 
-// RenderRobustness formats the robustness grid: final error plus the
-// staleness the scenario induced, per algorithm × scenario.
+// hasRecovery reports whether the timeline re-admits any worker — the only
+// scenarios where checkpoint-restore recovery can differ from fresh pulls.
+func hasRecovery(scn *scenario.Scenario) bool {
+	for _, ev := range scn.Events {
+		if ev.Kind == scenario.Recover {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderRobustness formats the robustness grid: final error (mean ± spread
+// over seeds), the staleness the scenario induced, and run shape, per
+// algorithm × scenario × recovery variant.
 func RenderRobustness(p Profile, workers int, rows []RobustnessRow) *report.Table {
-	tb := report.NewTable(
-		fmt.Sprintf("Robustness (%s, M=%d): final test error and staleness per scenario", p.Name, workers),
-		"scenario", "algorithm", "test err%", "mean stale", "max stale", "updates", "vsec", "events")
+	seeds := 1
 	for _, r := range rows {
-		tb.AddRow(r.Scenario, string(r.Algo),
+		if r.Seeds > seeds {
+			seeds = r.Seeds
+		}
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("Robustness (%s, M=%d, seeds=%d): final test error and staleness per scenario",
+			p.Name, workers, seeds),
+		"scenario", "algorithm", "variant", "test err%", "±spread", "mean stale", "max stale",
+		"updates", "vsec", "events")
+	for _, r := range rows {
+		variant := r.Variant
+		if variant == "" {
+			variant = "-"
+		}
+		spread := "-"
+		if r.Seeds > 1 {
+			spread = fmt.Sprintf("%.2f", r.ErrSpread*100)
+		}
+		tb.AddRow(r.Scenario, string(r.Algo), variant,
 			report.Pct(r.FinalTestErr),
+			spread,
 			fmt.Sprintf("%.2f", r.MeanStaleness),
 			fmt.Sprintf("%d", r.MaxStaleness),
 			fmt.Sprintf("%d", r.Updates),

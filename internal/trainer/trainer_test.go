@@ -192,7 +192,7 @@ func TestRobustnessGrid(t *testing.T) {
 			{At: 120, Kind: scenario.Recover, Worker: 1},
 		}},
 	}
-	rows := Robustness(p, 4, 1, scns)
+	rows := Robustness(p, 4, 1, scns, RobustnessOpts{})
 	if len(rows) != len(scns)*len(RobustnessAlgos) {
 		t.Fatalf("robustness rows %d, want %d", len(rows), len(scns)*len(RobustnessAlgos))
 	}
