@@ -20,9 +20,12 @@
 //
 // -full switches from the quick CPU-budget profiles to the paper-scale
 // ones; -seeds averages headline tables (tab1 and robust) over several
-// seeds; -csv emits the series as CSV instead of charts; -parallel fans
-// worker compute across goroutines (bit-identical results, faster
-// wall-clock on multi-core); -scenario replays a canned cluster-event
+// seeds; -csv emits the series as CSV instead of charts; -jobs runs that
+// many experiment cells concurrently per sweep (default GOMAXPROCS;
+// byte-identical output at any value); -parallel instead fans worker
+// compute within each cell across goroutines (bit-identical results,
+// faster wall-clock on multi-core — mutually exclusive with -jobs > 1
+// since both divide the same cores); -scenario replays a canned cluster-event
 // timeline (congestion windows, crashes/recoveries, elastic resizes,
 // network partitions) under every experiment; -cpuprofile/-memprofile
 // write pprof profiles of the whole run so perf work can attach evidence
@@ -68,6 +71,7 @@ func main() {
 		seed     = flag.Uint64("seed", 7, "base random seed")
 		csv      = flag.Bool("csv", false, "emit figure series as CSV tables instead of ASCII charts")
 		parallel = flag.Bool("parallel", false, "run worker compute on the concurrent backend (bit-identical, multi-core)")
+		jobs     = flag.Int("jobs", 0, "experiment cells to run concurrently in sweeps (0 = GOMAXPROCS, 1 = sequential; byte-identical output at any value)")
 		scn      = flag.String("scenario", "none",
 			fmt.Sprintf("cluster-event timeline for every run: %s", strings.Join(scenario.Names(), ", ")))
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -86,6 +90,22 @@ func main() {
 	sc, err := scenario.Lookup(*scn)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
+		os.Exit(2)
+	}
+	if *jobs == 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "lcexp: -jobs must be non-negative")
+		os.Exit(2)
+	}
+	if *jobs > 1 && *parallel {
+		// Both layers would claim the process-wide matmul-parallelism cap
+		// (cells × matmul goroutines is the core budget), and concurrent-
+		// backend runs serialize on a global lock, so combining them would
+		// oversubscribe nothing but also overlap nothing.
+		fmt.Fprintln(os.Stderr, "lcexp: -jobs > 1 and -parallel are mutually exclusive: "+
+			"use -jobs to overlap whole cells, or -parallel to overlap workers within each cell")
 		os.Exit(2)
 	}
 	if *resume && *ckptDir == "" {
@@ -141,6 +161,9 @@ func main() {
 	if *parallel {
 		cifar.Backend = ps.BackendConcurrent
 		imagenet.Backend = ps.BackendConcurrent
+	} else {
+		cifar.Jobs = *jobs
+		imagenet.Jobs = *jobs
 	}
 	if sc.Name != "none" {
 		cifar.Scenario = &sc

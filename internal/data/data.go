@@ -11,6 +11,7 @@ package data
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lcasgd/internal/rng"
 	"lcasgd/internal/snapshot"
@@ -111,6 +112,37 @@ func Generate(cfg Config) (train, test *Dataset) {
 	train = sample(cfg, protos, cfg.Train, g.SplitLabeled(1))
 	test = sample(cfg, protos, cfg.Test, g.SplitLabeled(2))
 	return train, test
+}
+
+// genEntry is one memoized Generate call; the Once gates generation so a
+// config is built exactly once even when many sweep cells request it
+// concurrently.
+type genEntry struct {
+	once        sync.Once
+	train, test *Dataset
+}
+
+var (
+	genMu    sync.Mutex
+	genCache = map[Config]*genEntry{}
+)
+
+// GenerateCached is Generate memoized on the full Config (a comparable
+// struct, so the key covers every generation parameter including Seed).
+// Sweeps run dozens of cells against the same dataset; caching amortizes
+// generation to once per config. Callers share the returned datasets and
+// must treat them as immutable — which all training paths do (BatchInto
+// copies; Partition copies).
+func GenerateCached(cfg Config) (train, test *Dataset) {
+	genMu.Lock()
+	e := genCache[cfg]
+	if e == nil {
+		e = &genEntry{}
+		genCache[cfg] = e
+	}
+	genMu.Unlock()
+	e.once.Do(func() { e.train, e.test = Generate(cfg) })
+	return e.train, e.test
 }
 
 func sample(cfg Config, protos [][]float64, n int, g *rng.RNG) *Dataset {

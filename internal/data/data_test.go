@@ -31,6 +31,52 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+func TestGenerateCached(t *testing.T) {
+	cfg := CIFARConfig()
+	cfg.Train, cfg.Test = 100, 20 // keep the cached entry small
+	cfg.Seed = 0xCAC8E            // private seed so other tests don't share the entry
+	tr1, te1 := GenerateCached(cfg)
+	tr2, te2 := GenerateCached(cfg)
+	if tr1 != tr2 || te1 != te2 {
+		t.Fatal("GenerateCached did not return the memoized datasets")
+	}
+	fresh, _ := Generate(cfg)
+	for i := range fresh.X.Data {
+		if tr1.X.Data[i] != fresh.X.Data[i] {
+			t.Fatal("cached dataset differs from a fresh Generate")
+		}
+	}
+	other := cfg
+	other.Seed++
+	tr3, _ := GenerateCached(other)
+	if tr3 == tr1 {
+		t.Fatal("different configs shared a cache entry")
+	}
+}
+
+func TestGenerateCachedConcurrent(t *testing.T) {
+	cfg := CIFARConfig()
+	cfg.Train, cfg.Test = 100, 20
+	cfg.Seed = 0xCAC8E + 100
+	const n = 8
+	got := make([]*Dataset, n)
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			got[i], _ = GenerateCached(cfg)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent GenerateCached returned distinct datasets")
+		}
+	}
+}
+
 func TestTrainTestDiffer(t *testing.T) {
 	tr, te := Generate(CIFARConfig())
 	same := true

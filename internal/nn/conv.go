@@ -93,18 +93,18 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx.Zero() // Col2Im accumulates into the image gradient
 	dOutMat := c.dOutMat
 	for i := 0; i < n; i++ {
+		// One pass per output channel both gathers the [OutC, HW] gradient
+		// into [HW, OutC] layout and sums the bias gradient over spatial
+		// positions — the bias sum reads the same values in the same
+		// ascending-p order the separate loop did, so fusing is bit-exact.
 		gslice := grad.Data[i*outFeat : (i+1)*outFeat]
-		for oc := 0; oc < c.OutC; oc++ {
-			for p := 0; p < hw; p++ {
-				dOutMat.Data[p*c.OutC+oc] = gslice[oc*hw+p]
-			}
-		}
-		// Bias gradient: sum over spatial positions.
 		for oc := 0; oc < c.OutC; oc++ {
 			s := 0.0
 			base := oc * hw
 			for p := 0; p < hw; p++ {
-				s += gslice[base+p]
+				v := gslice[base+p]
+				dOutMat.Data[p*c.OutC+oc] = v
+				s += v
 			}
 			c.B.Grad.Data[oc] += s
 		}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"lcasgd/internal/rng"
+	"lcasgd/internal/tensor"
+)
+
+// Layer-level conv benchmarks: the full im2col -> matmul -> transpose path
+// (forward) and the gather -> two matmuls -> col2im path (backward) at the
+// paper networks' layer shapes, with post-ReLU-like activations so the
+// numbers reflect what the training loop actually feeds these layers.
+
+type convBenchShape struct {
+	name          string
+	inC, inH, out int
+	batch         int
+}
+
+var convBenchShapes = []convBenchShape{
+	{"stem12_12x12", 12, 12, 12, 20}, // ResNetLite50 stem, full-ImageNet input
+	{"stage2_24_6x6", 24, 6, 24, 20}, // mid stage after one pool
+	{"stage3_48_3x3", 48, 3, 48, 20}, // deepest stage
+	{"quick_6_8x8", 6, 8, 6, 20},     // quick-profile stem (alloc-pinned path)
+}
+
+func benchConvInput(c convBenchShape, g *rng.RNG) *tensor.Tensor {
+	x := tensor.New(c.batch, c.inC*c.inH*c.inH)
+	g.FillNormal(x.Data, 1)
+	// Post-ReLU profile: about half the activations are exact zeros.
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+	return x
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	for _, s := range convBenchShapes {
+		b.Run(fmt.Sprintf("%s_n%d", s.name, s.batch), func(b *testing.B) {
+			g := rng.New(11)
+			geom := tensor.ConvGeom{InC: s.inC, InH: s.inH, InW: s.inH, KH: 3, KW: 3, Stride: 1, Pad: 1}
+			layer := NewConv2D("bench", geom, s.out, g)
+			x := benchConvInput(s, g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = layer.Forward(x, true)
+			}
+		})
+	}
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	for _, s := range convBenchShapes {
+		b.Run(fmt.Sprintf("%s_n%d", s.name, s.batch), func(b *testing.B) {
+			g := rng.New(11)
+			geom := tensor.ConvGeom{InC: s.inC, InH: s.inH, InW: s.inH, KH: 3, KW: 3, Stride: 1, Pad: 1}
+			layer := NewConv2D("bench", geom, s.out, g)
+			x := benchConvInput(s, g)
+			out := layer.Forward(x, true)
+			grad := tensor.New(out.Shape[0], out.Shape[1])
+			g.FillNormal(grad.Data, 0.1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = layer.Backward(grad)
+			}
+		})
+	}
+}

@@ -55,25 +55,36 @@ func Im2Col(dst []float64, img []float64, g ConvGeom) {
 	if len(img) != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col img len %d, want %d", len(img), g.InC*g.InH*g.InW))
 	}
+	// Per output pixel, the kx loop splits into prefix zeros / an in-bounds
+	// contiguous copy / suffix zeros, hoisting the per-element bounds checks
+	// out of the inner loop. kx0/kx1 clamp so the segment is empty (and only
+	// the zero fills run) when the whole row is out of range horizontally.
 	idx := 0
 	for oy := 0; oy < outH; oy++ {
 		iy0 := oy*g.Stride - g.Pad
 		for ox := 0; ox < outW; ox++ {
 			ix0 := ox*g.Stride - g.Pad
+			kx0 := min(max(-ix0, 0), g.KW)
+			kx1 := max(min(g.InW-ix0, g.KW), kx0)
 			for c := 0; c < g.InC; c++ {
 				chBase := c * g.InH * g.InW
 				for ky := 0; ky < g.KH; ky++ {
 					iy := iy0 + ky
-					rowOK := iy >= 0 && iy < g.InH
-					rowBase := chBase + iy*g.InW
-					for kx := 0; kx < g.KW; kx++ {
-						ix := ix0 + kx
-						if rowOK && ix >= 0 && ix < g.InW {
-							dst[idx] = img[rowBase+ix]
-						} else {
-							dst[idx] = 0
+					row := dst[idx : idx+g.KW]
+					idx += g.KW
+					if iy < 0 || iy >= g.InH {
+						for kx := range row {
+							row[kx] = 0
 						}
-						idx++
+						continue
+					}
+					for kx := 0; kx < kx0; kx++ {
+						row[kx] = 0
+					}
+					rowBase := chBase + iy*g.InW + ix0
+					copy(row[kx0:kx1], img[rowBase+kx0:rowBase+kx1])
+					for kx := kx1; kx < g.KW; kx++ {
+						row[kx] = 0
 					}
 				}
 			}
@@ -93,24 +104,30 @@ func Col2Im(dst []float64, col []float64, g ConvGeom) {
 	if len(dst) != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Col2Im dst len %d, want %d", len(dst), g.InC*g.InH*g.InW))
 	}
+	// Same segment clipping as Im2Col: only the in-bounds [kx0, kx1) span of
+	// each kernel row is accumulated; padding positions are skipped by
+	// advancing idx past them.
 	idx := 0
 	for oy := 0; oy < outH; oy++ {
 		iy0 := oy*g.Stride - g.Pad
 		for ox := 0; ox < outW; ox++ {
 			ix0 := ox*g.Stride - g.Pad
+			kx0 := min(max(-ix0, 0), g.KW)
+			kx1 := max(min(g.InW-ix0, g.KW), kx0)
 			for c := 0; c < g.InC; c++ {
 				chBase := c * g.InH * g.InW
 				for ky := 0; ky < g.KH; ky++ {
 					iy := iy0 + ky
-					rowOK := iy >= 0 && iy < g.InH
-					rowBase := chBase + iy*g.InW
-					for kx := 0; kx < g.KW; kx++ {
-						ix := ix0 + kx
-						if rowOK && ix >= 0 && ix < g.InW {
-							dst[rowBase+ix] += col[idx]
-						}
-						idx++
+					if iy < 0 || iy >= g.InH {
+						idx += g.KW
+						continue
 					}
+					row := col[idx+kx0 : idx+kx1]
+					out := dst[chBase+iy*g.InW+ix0+kx0 : chBase+iy*g.InW+ix0+kx1]
+					for kx, v := range row {
+						out[kx] += v
+					}
+					idx += g.KW
 				}
 			}
 		}

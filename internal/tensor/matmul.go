@@ -9,8 +9,9 @@ import (
 
 // maxProcs caps the matmul worker count. It is a variable so tests can
 // exercise the sequential and parallel paths deterministically, and atomic
-// so runtime callers (the ps concurrent backend) can retune it while other
-// goroutines are inside MatMul without a data race.
+// so runtime callers (the ps concurrent backend, the trainer sweep
+// scheduler) can retune it while other goroutines are inside MatMul without
+// a data race.
 var maxProcs atomic.Int64
 
 func init() { maxProcs.Store(int64(runtime.GOMAXPROCS(0))) }
@@ -30,13 +31,59 @@ func SetMatmulParallelism(n int) int {
 // spawns goroutines; below it the goroutine overhead dominates.
 const parallelRowThreshold = 64 * 64 * 64
 
+// Tiling geometry for the blocked kernels, in float64 elements. All
+// decisions below are functions of the operand shapes alone — never of the
+// data — so a given shape always takes the same code path and produces the
+// same float bits.
+//
+// Every kernel accumulates each output element over k in ascending order,
+// exactly like the naive triple loop: tiles partition the i/j (output)
+// space, and k-panels are visited in ascending order with ascending
+// interior, so the per-element addition chain is byte-for-byte the naive
+// chain. That is the invariant behind the backend-equivalence and
+// resume-fingerprint suites; do not reorder k.
+//
+// The pre-tiling kernels skipped zero a-elements; the tiled ones do not
+// (see the sparsity note on mmBlock). On finite data the two are
+// bit-identical: the dropped/added terms are av*bv with av == ±0, whose
+// product is ±0, and x + ±0 == x bitwise for every finite x when the
+// accumulator starts at +0. Inputs are finite throughout training, so the
+// change is invisible to the fingerprint.
+const (
+	// mmDirectB: when B has at most this many elements it is streamed
+	// directly (it fits comfortably in L2 and the panel copy would cost more
+	// than it saves). Every matmul in the paper's networks takes this path;
+	// the packed path below serves larger shapes (and keeps the kernel
+	// honest for them).
+	mmDirectB = 16 * 1024
+	// Packed-panel tile: a kc x nc sub-block of B copied into a contiguous
+	// panel (<=256 KiB, L2-resident) and reused across every row of A.
+	mmKC = 256
+	mmNC = 128
+	// matMulTransA output tile: 64x64 floats = 32 KiB, L1-resident while k
+	// streams over it.
+	taIB = 64
+	taJB = 64
+	// matMulTransB keeps a j-tile of B rows (about 16 KiB) L1-resident
+	// across the whole sweep over A's rows.
+	tbTileFloats = 2048
+)
+
+// mmPanels recycles packed B panels. Only shapes with more than mmDirectB
+// elements of B reach it, so the zero-allocation training paths (which are
+// all below the threshold) never touch the pool.
+var mmPanels = sync.Pool{New: func() any { b := make([]float64, mmKC*mmNC); return &b }}
+
 // MatMul returns a @ b for 2-D tensors a [m,k] and b [k,n].
 //
-// The kernel is an ikj-ordered loop over the output with the inner dimension
-// streamed from b's rows, which is cache-friendly for row-major data, and is
-// parallelized over row blocks of a. Row-block partitioning keeps the
-// floating-point accumulation order identical regardless of the number of
-// goroutines, so results are bit-reproducible across machines.
+// The kernel processes four output rows at a time against a shared B row
+// (register blocking: each loaded B element feeds four independent
+// multiply-adds, and B is streamed once per four rows of A instead of once
+// per row), falling back to a packed kc x nc B-panel micro-kernel when B
+// exceeds mmDirectB. It is parallelized over row blocks of A; row-block
+// partitioning keeps the floating-point accumulation order identical
+// regardless of the number of goroutines, so results are bit-reproducible
+// across machines.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v %v", a.Shape, b.Shape))
@@ -91,18 +138,75 @@ func matMulInto(out, a, b *Tensor) {
 	wg.Wait()
 }
 
-// matMulRows computes rows [lo, hi) of out = a @ b using the ikj ordering.
+// matMulRows computes rows [lo, hi) of out = a @ b. When B fits the direct
+// threshold it is used in place; otherwise ascending kc x nc panels of B
+// are packed contiguous and the same micro-kernel runs over each panel.
+// Either way every output element accumulates its k terms in ascending
+// order.
 func matMulRows(out, a, b *Tensor, lo, hi int) {
 	k := a.Shape[1]
 	n := b.Shape[1]
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
+	if k*n <= mmDirectB {
+		mmBlock(out.Data, a.Data, lo, hi, k, n, 0, k, b.Data, n, 0, n)
+		return
+	}
+	panelPtr := mmPanels.Get().(*[]float64)
+	panel := *panelPtr
+	for p0 := 0; p0 < k; p0 += mmKC {
+		kw := min(mmKC, k-p0)
+		for j0 := 0; j0 < n; j0 += mmNC {
+			jw := min(mmNC, n-j0)
+			for pp := 0; pp < kw; pp++ {
+				src := (p0+pp)*n + j0
+				copy(panel[pp*jw:pp*jw+jw], b.Data[src:src+jw])
 			}
-			brow := b.Data[p*n : (p+1)*n]
+			mmBlock(out.Data, a.Data, lo, hi, k, n, p0, kw, panel, jw, j0, jw)
+		}
+	}
+	mmPanels.Put(panelPtr)
+}
+
+// mmBlock is the register-blocked micro-kernel: it accumulates
+// out[lo:hi, j0:j0+jw] += a[lo:hi, p0:p0+kw] @ panel, where panel holds the
+// corresponding B sub-block with row stride bstride (B itself on the direct
+// path, a packed copy otherwise). Four A rows share each loaded B element;
+// per output element the k terms still arrive in ascending order.
+//
+// The pre-tiling kernel skipped zero A elements (`if av == 0`), which made
+// kernel time silently input-dependent. The skip is gone from every tiled
+// kernel: measured on post-ReLU-like inputs (~50% scattered exact zeros —
+// see the sparsity benchmarks in matmul_bench_test.go) the unpredictable
+// branch cost 25-35% over the straight-line loop, and even on dense inputs
+// the always-false compare cost ~20% in the tight inner loop. Dropping it
+// is bit-neutral on finite data — see the finiteness note on the tiling
+// constants.
+func mmBlock(out, a []float64, lo, hi, astride, ostride, p0, kw int, bp []float64, bstride, j0, jw int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0 := a[i*astride+p0 : i*astride+p0+kw]
+		a1 := a[(i+1)*astride+p0 : (i+1)*astride+p0+kw]
+		a2 := a[(i+2)*astride+p0 : (i+2)*astride+p0+kw]
+		a3 := a[(i+3)*astride+p0 : (i+3)*astride+p0+kw]
+		o0 := out[i*ostride+j0 : i*ostride+j0+jw]
+		o1 := out[(i+1)*ostride+j0 : (i+1)*ostride+j0+jw]
+		o2 := out[(i+2)*ostride+j0 : (i+2)*ostride+j0+jw]
+		o3 := out[(i+3)*ostride+j0 : (i+3)*ostride+j0+jw]
+		for pp := 0; pp < kw; pp++ {
+			av0, av1, av2, av3 := a0[pp], a1[pp], a2[pp], a3[pp]
+			brow := bp[pp*bstride : pp*bstride+jw]
+			for j, bv := range brow {
+				o0[j] += av0 * bv
+				o1[j] += av1 * bv
+				o2[j] += av2 * bv
+				o3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a[i*astride+p0 : i*astride+p0+kw]
+		orow := out[i*ostride+j0 : i*ostride+j0+jw]
+		for pp, av := range arow {
+			brow := bp[pp*bstride : pp*bstride+jw]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
@@ -134,20 +238,48 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	matMulTransA(dst, a, b)
 }
 
+// matMulTransA accumulates out[i][j] += Σ_p a[p][i]·b[p][j]. The output is
+// tiled into 64x64 (L1-resident) blocks; k streams over each block once, so
+// out is no longer re-streamed from L2 for every p the way the untiled
+// rank-1 update was. Four output rows share each loaded b element. The
+// pre-tiling kernel's per-(p,i) zero skip is gone — see the sparsity note
+// on mmBlock; the benchmarks showed it losing even here, where a is the
+// im2col matrix of post-ReLU activations and a taken skip saves a whole
+// jw-wide update. Tiles partition i/j only, so each out element's k chain
+// is untouched.
 func matMulTransA(out, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
-	// out[i][j] = sum_p a[p][i] * b[p][j]; stream over p for locality.
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	for i0 := 0; i0 < m; i0 += taIB {
+		ib := min(taIB, m-i0)
+		for j0 := 0; j0 < n; j0 += taJB {
+			jw := min(taJB, n-j0)
+			for p := 0; p < k; p++ {
+				arow := a.Data[p*m+i0 : p*m+i0+ib]
+				brow := b.Data[p*n+j0 : p*n+j0+jw]
+				ii := 0
+				for ; ii+4 <= ib; ii += 4 {
+					av0, av1, av2, av3 := arow[ii], arow[ii+1], arow[ii+2], arow[ii+3]
+					base := (i0 + ii) * n
+					o0 := out.Data[base+j0 : base+j0+jw]
+					o1 := out.Data[base+n+j0 : base+n+j0+jw]
+					o2 := out.Data[base+2*n+j0 : base+2*n+j0+jw]
+					o3 := out.Data[base+3*n+j0 : base+3*n+j0+jw]
+					for j, bv := range brow {
+						o0[j] += av0 * bv
+						o1[j] += av1 * bv
+						o2[j] += av2 * bv
+						o3[j] += av3 * bv
+					}
+				}
+				for ; ii < ib; ii++ {
+					av := arow[ii]
+					base := (i0 + ii) * n
+					orow := out.Data[base+j0 : base+j0+jw]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
 			}
 		}
 	}
@@ -176,19 +308,66 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	matMulTransB(dst, a, b)
 }
 
+// matMulTransB computes out[i][j] = a[i]·b[j] (row dot products). B's rows
+// are tiled so a j-tile stays L1-resident across the whole sweep over A's
+// rows (B is streamed from L2 once per tile instead of once per A row), and
+// a 2x2 register block gives four independent accumulation chains per four
+// loads. Each chain is one output element's dot product with p ascending —
+// the naive order.
 func matMulTransB(out, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[0]
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
+	jt := tbTileFloats / k
+	if jt < 4 {
+		jt = 4
+	}
+	for j0 := 0; j0 < n; j0 += jt {
+		j1 := min(j0+jt, n)
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			ar0 := a.Data[i*k : i*k+k]
+			ar1 := a.Data[(i+1)*k : (i+1)*k+k]
+			or0 := out.Data[i*n : (i+1)*n]
+			or1 := out.Data[(i+1)*n : (i+2)*n]
+			j := j0
+			for ; j+2 <= j1; j += 2 {
+				br0 := b.Data[j*k : j*k+k]
+				br1 := b.Data[(j+1)*k : (j+1)*k+k]
+				var s00, s01, s10, s11 float64
+				for p, av0 := range ar0 {
+					av1 := ar1[p]
+					bv0, bv1 := br0[p], br1[p]
+					s00 += av0 * bv0
+					s01 += av0 * bv1
+					s10 += av1 * bv0
+					s11 += av1 * bv1
+				}
+				or0[j], or0[j+1] = s00, s01
+				or1[j], or1[j+1] = s10, s11
 			}
-			orow[j] = s
+			for ; j < j1; j++ {
+				brow := b.Data[j*k : j*k+k]
+				var s0, s1 float64
+				for p, av := range ar0 {
+					s0 += av * brow[p]
+				}
+				for p, av := range ar1 {
+					s1 += av * brow[p]
+				}
+				or0[j], or1[j] = s0, s1
+			}
+		}
+		for ; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := j0; j < j1; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
 		}
 	}
 }

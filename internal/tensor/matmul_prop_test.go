@@ -1,0 +1,248 @@
+package tensor
+
+import (
+	"testing"
+
+	"lcasgd/internal/rng"
+)
+
+// The tiled kernels promise more than numerical closeness: because tiling
+// partitions the output space and leaves every element's ascending-k
+// accumulation chain intact, they must match a naive triple loop (which has
+// the same chain) bit for bit. These tests demand exact equality — maxDiff
+// == 0 — across a shape grid that covers degenerate dims, sub-tile sizes,
+// exact tile multiples, off-by-one-past-a-tile sizes, and the packed-panel
+// and parallel paths.
+
+// naiveMatMulTransA mirrors matMulTransA's per-element chain: ascending p.
+func naiveMatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(p, i) * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// naiveMatMulTransB mirrors matMulTransB's per-element chain: ascending p.
+func naiveMatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(j, p)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+var propDims = []int{1, 2, 3, 7, 64, 65, 100}
+
+// sparsify zeroes roughly half the elements (exact zeros, like post-ReLU
+// activations) to exercise the data-dependent skip paths.
+func sparsify(t *Tensor, g *rng.RNG) {
+	for i := range t.Data {
+		if g.Float64() < 0.5 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+func TestMatMulTiledBitExactGrid(t *testing.T) {
+	g := rng.New(101)
+	for _, m := range propDims {
+		for _, k := range propDims {
+			for _, n := range propDims {
+				for _, sparse := range []bool{false, true} {
+					a := randMat(g, m, k)
+					b := randMat(g, k, n)
+					if sparse {
+						sparsify(a, g)
+						sparsify(b, g)
+					}
+					if d := maxDiff(MatMul(a, b), naiveMatMul(a, b)); d != 0 {
+						t.Fatalf("MatMul m=%d k=%d n=%d sparse=%v: diff %g", m, k, n, sparse, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulTransATiledBitExactGrid(t *testing.T) {
+	g := rng.New(103)
+	for _, m := range propDims {
+		for _, k := range propDims {
+			for _, n := range propDims {
+				for _, sparse := range []bool{false, true} {
+					a := randMat(g, k, m) // aᵀ is m x k
+					b := randMat(g, k, n)
+					if sparse {
+						sparsify(a, g)
+					}
+					if d := maxDiff(MatMulTransA(a, b), naiveMatMulTransA(a, b)); d != 0 {
+						t.Fatalf("MatMulTransA m=%d k=%d n=%d sparse=%v: diff %g", m, k, n, sparse, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulTransBTiledBitExactGrid(t *testing.T) {
+	g := rng.New(107)
+	for _, m := range propDims {
+		for _, k := range propDims {
+			for _, n := range propDims {
+				a := randMat(g, m, k)
+				b := randMat(g, n, k) // bᵀ is k x n
+				if d := maxDiff(MatMulTransB(a, b), naiveMatMulTransB(a, b)); d != 0 {
+					t.Fatalf("MatMulTransB m=%d k=%d n=%d: diff %g", m, k, n, d)
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulPackedPanelBitExact forces the packed-panel path (k*n above
+// mmDirectB) with shapes that leave partial tiles on every axis, and checks
+// it against the naive chain bit for bit.
+func TestMatMulPackedPanelBitExact(t *testing.T) {
+	g := rng.New(109)
+	for _, dims := range [][3]int{
+		{9, 300, 130},                  // partial kc and nc tails
+		{5, 256, 128},                  // exact kc x nc multiples
+		{6, 257, 129},                  // one past a tile boundary
+		{3, mmKC + mmKC/2, mmNC*2 + 1}, // mid-tile k tail, odd n tail
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		if k*n <= mmDirectB {
+			t.Fatalf("shape %v does not reach the packed path", dims)
+		}
+		a := randMat(g, m, k)
+		b := randMat(g, k, n)
+		if d := maxDiff(MatMul(a, b), naiveMatMul(a, b)); d != 0 {
+			t.Fatalf("packed MatMul m=%d k=%d n=%d: diff %g", m, k, n, d)
+		}
+	}
+}
+
+// TestMatMulParallelPackedMatchesSequential covers the combination of the
+// goroutine row split and the packed-panel path.
+func TestMatMulParallelPackedMatchesSequential(t *testing.T) {
+	g := rng.New(113)
+	a := randMat(g, 70, 200)
+	b := randMat(g, 200, 100)
+	if 200*100 <= mmDirectB || 70*200*100 < parallelRowThreshold {
+		t.Fatal("shape does not reach both the packed and parallel paths")
+	}
+	old := SetMatmulParallelism(1)
+	seq := MatMul(a, b)
+	SetMatmulParallelism(8)
+	par := MatMul(a, b)
+	SetMatmulParallelism(old)
+	if maxDiff(seq, par) != 0 {
+		t.Fatal("parallel packed matmul is not bit-identical to sequential")
+	}
+	if d := maxDiff(seq, naiveMatMul(a, b)); d != 0 {
+		t.Fatalf("packed matmul vs naive: diff %g", d)
+	}
+}
+
+func TestConvSegmentsMatchReference(t *testing.T) {
+	// The segment-clipped Im2Col/Col2Im against a per-element reference,
+	// across strides and pads including pad wider than the input.
+	for _, g := range []ConvGeom{
+		{InC: 2, InH: 5, InW: 5, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 1, KW: 1, Stride: 1, Pad: 0},
+		{InC: 2, InH: 3, InW: 3, KH: 3, KW: 3, Stride: 1, Pad: 3},
+		{InC: 1, InH: 2, InW: 7, KH: 5, KW: 5, Stride: 2, Pad: 4},
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(127)
+		img := make([]float64, g.InC*g.InH*g.InW)
+		r.FillNormal(img, 1)
+		got := make([]float64, g.ColRows()*g.ColCols())
+		Im2Col(got, img, g)
+		want := make([]float64, len(got))
+		refIm2Col(want, img, g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Im2Col %+v: element %d got %g want %g", g, i, got[i], want[i])
+			}
+		}
+
+		col := make([]float64, len(got))
+		r.FillNormal(col, 1)
+		gotImg := make([]float64, len(img))
+		Col2Im(gotImg, col, g)
+		wantImg := make([]float64, len(img))
+		refCol2Im(wantImg, col, g)
+		for i := range wantImg {
+			if gotImg[i] != wantImg[i] {
+				t.Fatalf("Col2Im %+v: element %d got %g want %g", g, i, gotImg[i], wantImg[i])
+			}
+		}
+	}
+}
+
+// refIm2Col is the pre-optimization per-element implementation.
+func refIm2Col(dst []float64, img []float64, g ConvGeom) {
+	idx := 0
+	for oy := 0; oy < g.OutH(); oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < g.OutW(); ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							dst[idx] = img[c*g.InH*g.InW+iy*g.InW+ix]
+						} else {
+							dst[idx] = 0
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// refCol2Im is the pre-optimization per-element adjoint.
+func refCol2Im(dst []float64, col []float64, g ConvGeom) {
+	idx := 0
+	for oy := 0; oy < g.OutH(); oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < g.OutW(); ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							dst[c*g.InH*g.InW+iy*g.InW+ix] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

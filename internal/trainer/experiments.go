@@ -23,18 +23,38 @@ type CurveSet struct {
 	Order   []ps.Algo // rendering order
 }
 
+// curveCell pairs a rendering key with its scheduled cell.
+type curveCell struct {
+	key ps.Algo
+	fut *cellFuture
+}
+
+// assemble waits for the cells in submission order and fills the curve set,
+// so the result is identical at any Profile.Jobs.
+func (cs *CurveSet) assemble(cells []curveCell) {
+	for _, c := range cells {
+		cs.Results[c.key] = c.fut.wait()
+		cs.Order = append(cs.Order, c.key)
+	}
+}
+
 // Fig2 reproduces Figure 2: DC-ASGD's test error across M ∈ {4,8,16} with
 // sequential SGD as reference, showing the degradation that motivates
 // LC-ASGD.
 func Fig2(p Profile, seed uint64) CurveSet {
+	pool := newPool(p)
+	defer pool.close()
 	cs := CurveSet{Profile: p.Name, Workers: 0, Results: map[ps.Algo]ps.Result{}}
-	cs.Results[ps.SGD] = RunCell(p, ps.SGD, 1, core.BNAsync, seed)
-	cs.Order = append(cs.Order, ps.SGD)
+	cells := []curveCell{{ps.SGD, pool.submit(func() ps.Result {
+		return RunCell(p, ps.SGD, 1, core.BNAsync, seed)
+	})}}
 	for _, m := range WorkerCounts {
 		key := ps.Algo(fmt.Sprintf("DC-ASGD-%d", m))
-		cs.Results[key] = RunCell(p, ps.DCASGD, m, core.BNAsync, seed)
-		cs.Order = append(cs.Order, key)
+		cells = append(cells, curveCell{key, pool.submit(func() ps.Result {
+			return RunCell(p, ps.DCASGD, m, core.BNAsync, seed)
+		})})
 	}
+	cs.assemble(cells)
 	return cs
 }
 
@@ -42,13 +62,18 @@ func Fig2(p Profile, seed uint64) CurveSet {
 // same data plotted against virtual time): all five algorithms at the given
 // worker count with Async-BN.
 func Fig3Panel(p Profile, workers int, seed uint64) CurveSet {
+	pool := newPool(p)
+	defer pool.close()
 	cs := CurveSet{Profile: p.Name, Workers: workers, Results: map[ps.Algo]ps.Result{}}
-	cs.Results[ps.SGD] = RunCell(p, ps.SGD, 1, core.BNAsync, seed)
-	cs.Order = append(cs.Order, ps.SGD)
+	cells := []curveCell{{ps.SGD, pool.submit(func() ps.Result {
+		return RunCell(p, ps.SGD, 1, core.BNAsync, seed)
+	})}}
 	for _, a := range DistributedAlgos {
-		cs.Results[a] = RunCell(p, a, workers, core.BNAsync, seed)
-		cs.Order = append(cs.Order, a)
+		cells = append(cells, curveCell{a, pool.submit(func() ps.Result {
+			return RunCell(p, a, workers, core.BNAsync, seed)
+		})})
 	}
+	cs.assemble(cells)
 	return cs
 }
 
@@ -56,11 +81,16 @@ func Fig3Panel(p Profile, workers int, seed uint64) CurveSet {
 // distributed algorithms on the ImageNet-scale profile (the paper omits
 // sequential SGD there because single-machine training is impractical).
 func Fig5Panel(p Profile, workers int, seed uint64) CurveSet {
+	pool := newPool(p)
+	defer pool.close()
 	cs := CurveSet{Profile: p.Name, Workers: workers, Results: map[ps.Algo]ps.Result{}}
+	var cells []curveCell
 	for _, a := range DistributedAlgos {
-		cs.Results[a] = RunCell(p, a, workers, core.BNAsync, seed)
-		cs.Order = append(cs.Order, a)
+		cells = append(cells, curveCell{a, pool.submit(func() ps.Result {
+			return RunCell(p, a, workers, core.BNAsync, seed)
+		})})
 	}
+	cs.assemble(cells)
 	return cs
 }
 
@@ -127,26 +157,56 @@ type Table1Row struct {
 // (sequential SGD when includeSGD, else SSGD at the smallest M, mirroring
 // the paper's ImageNet baseline choice).
 func Table1(p Profile, includeSGD bool, seeds []uint64) (rows []Table1Row, baselineBN, baselineAsync float64) {
-	mean := func(algo ps.Algo, workers int, mode core.BNMode) float64 {
+	pool := newPool(p)
+	defer pool.close()
+	// Submit every (algo, workers, mode, seed) cell in the classic nested
+	// order; the mean is folded in wait order = submission order.
+	submitMean := func(algo ps.Algo, workers int, mode core.BNMode) []*cellFuture {
+		futs := make([]*cellFuture, len(seeds))
+		for i, s := range seeds {
+			futs[i] = pool.submit(func() ps.Result {
+				return RunCell(p, algo, workers, mode, s)
+			})
+		}
+		return futs
+	}
+	mean := func(futs []*cellFuture) float64 {
 		sum := 0.0
-		for _, s := range seeds {
-			sum += RunCell(p, algo, workers, mode, s).FinalTestErr
+		for _, f := range futs {
+			sum += f.wait().FinalTestErr
 		}
 		return sum / float64(len(seeds))
 	}
+	var sgdFuts []*cellFuture
 	if includeSGD {
-		sgdErr := mean(ps.SGD, 1, core.BNAsync)
-		rows = append(rows, Table1Row{Workers: 1, Algo: ps.SGD, BNErr: sgdErr, AsyncErr: sgdErr})
+		sgdFuts = submitMean(ps.SGD, 1, core.BNAsync)
 	}
+	type table1Cell struct {
+		workers   int
+		algo      ps.Algo
+		bn, async []*cellFuture
+	}
+	var cells []table1Cell
 	for _, m := range WorkerCounts {
 		for _, a := range DistributedAlgos {
-			rows = append(rows, Table1Row{
-				Workers:  m,
-				Algo:     a,
-				BNErr:    mean(a, m, core.BNReplace),
-				AsyncErr: mean(a, m, core.BNAsync),
+			cells = append(cells, table1Cell{
+				workers: m, algo: a,
+				bn:    submitMean(a, m, core.BNReplace),
+				async: submitMean(a, m, core.BNAsync),
 			})
 		}
+	}
+	if includeSGD {
+		sgdErr := mean(sgdFuts)
+		rows = append(rows, Table1Row{Workers: 1, Algo: ps.SGD, BNErr: sgdErr, AsyncErr: sgdErr})
+	}
+	for _, c := range cells {
+		rows = append(rows, Table1Row{
+			Workers:  c.workers,
+			Algo:     c.algo,
+			BNErr:    mean(c.bn),
+			AsyncErr: mean(c.async),
+		})
 	}
 	baselineBN, baselineAsync = rows[0].BNErr, rows[0].AsyncErr
 	return rows, baselineBN, baselineAsync
@@ -183,7 +243,10 @@ type OverheadRow struct {
 // LC-ASGD across worker counts. Predictor times are real measured wall
 // times of this implementation's LSTM predictors; the total iteration time
 // is the virtual mean, so the overhead percentage composes a real numerator
-// with the simulated denominator exactly as DESIGN.md documents.
+// with the simulated denominator exactly as DESIGN.md documents. Because
+// the numerator is a real wall-time measurement, this sweep ignores
+// Profile.Jobs and always runs sequentially: concurrent cells contending
+// for cores would inflate the measured predictor times.
 func OverheadTable(p Profile, seed uint64) []OverheadRow {
 	var rows []OverheadRow
 	for _, m := range WorkerCounts {

@@ -46,6 +46,16 @@ type Profile struct {
 	// (cmd/lcexp -scenario).
 	Scenario *scenario.Scenario
 
+	// Jobs is how many experiment cells a sweep (Fig2/Fig3Panel/Fig5Panel/
+	// Table1/Robustness) runs concurrently; values <= 1 mean the classic
+	// sequential loops (cmd/lcexp -jobs). Results are assembled in
+	// submission order, so tables, curves and store artifacts are
+	// byte-identical at any Jobs value; the pool divides the machine with
+	// the matmul layer by capping tensor.SetMatmulParallelism at
+	// GOMAXPROCS/Jobs (see sched.go). Incompatible with the concurrent
+	// backend, which owns that cap itself.
+	Jobs int
+
 	// Store, when non-nil, persists every cell run under this profile into
 	// the experiment store: config, checkpoints at every CkptEvery epochs,
 	// the learning curve and the final result, keyed by ps.ConfigKey
@@ -150,7 +160,10 @@ func RunCell(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint
 // RunCellCfg is RunCell with full control of the ps.Config for ablations:
 // mutate receives the assembled config before the run.
 func RunCellCfg(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64, mutate func(*ps.Config)) ps.Result {
-	train, test := data.Generate(p.Data)
+	// Cached: sweeps run many cells against the same config, and concurrent
+	// cells (Profile.Jobs) share one immutable dataset instead of each
+	// regenerating it.
+	train, test := data.GenerateCached(p.Data)
 	cfg := cellConfig(p, algo, workers, bnMode, seed)
 	if mutate != nil {
 		mutate(&cfg)

@@ -81,7 +81,16 @@ func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario, o
 		}
 	}}
 
-	var rows []RobustnessRow
+	// Submit the whole scenario × algorithm × variant × seed grid to the
+	// cell pool in the classic nested order, then fold each row's seeds in
+	// that same order — rows are identical at any Profile.Jobs.
+	pool := newPool(p)
+	defer pool.close()
+	type gridCell struct {
+		row   RobustnessRow
+		seeds []*cellFuture
+	}
+	var cells []gridCell
 	for i := range scns {
 		scn := &scns[i]
 		variants := []variant{base}
@@ -90,42 +99,57 @@ func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario, o
 		}
 		for _, algo := range RobustnessAlgos {
 			for _, v := range variants {
-				row := RobustnessRow{Scenario: scn.Name, Algo: algo, Variant: v.name, Seeds: opts.Seeds}
-				loErr, hiErr := 0.0, 0.0
+				cell := gridCell{
+					row:   RobustnessRow{Scenario: scn.Name, Algo: algo, Variant: v.name, Seeds: opts.Seeds},
+					seeds: make([]*cellFuture, opts.Seeds),
+				}
 				for s := 0; s < opts.Seeds; s++ {
 					mut := v.mut
-					res := RunCellCfg(p, algo, workers, core.BNAsync, seed+uint64(s), func(c *ps.Config) {
-						c.Scenario = scn
-						if mut != nil {
-							mut(c)
-						}
+					cellSeed := seed + uint64(s)
+					cell.seeds[s] = pool.submit(func() ps.Result {
+						return RunCellCfg(p, algo, workers, core.BNAsync, cellSeed, func(c *ps.Config) {
+							c.Scenario = scn
+							if mut != nil {
+								mut(c)
+							}
+						})
 					})
-					if s == 0 || res.FinalTestErr < loErr {
-						loErr = res.FinalTestErr
-					}
-					if s == 0 || res.FinalTestErr > hiErr {
-						hiErr = res.FinalTestErr
-					}
-					row.FinalTestErr += res.FinalTestErr
-					row.MeanStaleness += res.MeanStaleness
-					row.Updates += res.Updates
-					row.VirtualMs += res.VirtualMs
-					if res.MaxStaleness > row.MaxStaleness {
-						row.MaxStaleness = res.MaxStaleness
-					}
-					if res.ScenarioEvents > row.Events {
-						row.Events = res.ScenarioEvents
-					}
 				}
-				n := float64(opts.Seeds)
-				row.FinalTestErr /= n
-				row.MeanStaleness /= n
-				row.VirtualMs /= n
-				row.Updates /= opts.Seeds
-				row.ErrSpread = hiErr - loErr
-				rows = append(rows, row)
+				cells = append(cells, cell)
 			}
 		}
+	}
+
+	var rows []RobustnessRow
+	for _, cell := range cells {
+		row := cell.row
+		loErr, hiErr := 0.0, 0.0
+		for s, fut := range cell.seeds {
+			res := fut.wait()
+			if s == 0 || res.FinalTestErr < loErr {
+				loErr = res.FinalTestErr
+			}
+			if s == 0 || res.FinalTestErr > hiErr {
+				hiErr = res.FinalTestErr
+			}
+			row.FinalTestErr += res.FinalTestErr
+			row.MeanStaleness += res.MeanStaleness
+			row.Updates += res.Updates
+			row.VirtualMs += res.VirtualMs
+			if res.MaxStaleness > row.MaxStaleness {
+				row.MaxStaleness = res.MaxStaleness
+			}
+			if res.ScenarioEvents > row.Events {
+				row.Events = res.ScenarioEvents
+			}
+		}
+		n := float64(opts.Seeds)
+		row.FinalTestErr /= n
+		row.MeanStaleness /= n
+		row.VirtualMs /= n
+		row.Updates /= opts.Seeds
+		row.ErrSpread = hiErr - loErr
+		rows = append(rows, row)
 	}
 	return rows
 }

@@ -1,0 +1,122 @@
+package trainer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lcasgd/internal/ps"
+	"lcasgd/internal/tensor"
+)
+
+// The sweep scheduler: experiment sweeps (Fig2/Fig3Panel/Fig5Panel/Table1
+// and the robustness grid) are dozens to hundreds of independent cells, and
+// with Profile.Jobs > 1 they run on a bounded worker pool instead of
+// strictly in sequence. Determinism is preserved by construction:
+//
+//   - Each cell is already a pure function of its ps.Config (the simulator
+//     is deterministic and datasets are generated from the config), so
+//     running cells concurrently cannot change any cell's result — only
+//     the order results become available.
+//   - Sweeps submit cells in exactly the order the old sequential loops ran
+//     them and assemble results in submission order, so tables, curves and
+//     persisted store artifacts are byte-identical to a -jobs 1 run.
+//   - With Jobs <= 1 submit() runs the cell inline at submission time — the
+//     scheduler degenerates to the old sequential loops, not to a
+//     one-worker pool, so a sequential sweep has no goroutine in the loop.
+//
+// The core budget is split with the matmul layer: cells * matmul goroutines
+// must not oversubscribe the machine, so the pool retunes
+// tensor.SetMatmulParallelism to GOMAXPROCS/jobs for its lifetime (the
+// "jobs × matmul-parallelism" rule in DESIGN.md). That cap is process-wide
+// state, which is why pools are serialized on sweepMu and why the
+// concurrent ps backend — which needs the cap for itself and serializes
+// runs on its own global lock — cannot be combined with Jobs > 1.
+
+// sweepMu serializes multi-job sweeps; the holder owns the process-wide
+// matmul parallelism cap.
+var sweepMu sync.Mutex
+
+// cellPool runs sweep cells on at most jobs goroutines.
+type cellPool struct {
+	jobs   int
+	sem    chan struct{}
+	prevMM int
+}
+
+// newPool sizes a pool from the profile. Jobs <= 1 yields the inline
+// (sequential) pool; Jobs > 1 acquires the sweep lock and the matmul cap.
+func newPool(p Profile) *cellPool {
+	jobs := p.Jobs
+	if jobs <= 1 {
+		return &cellPool{jobs: 1}
+	}
+	if p.Backend == ps.BackendConcurrent {
+		panic("trainer: Jobs > 1 cannot be combined with the concurrent backend: " +
+			"both own the process-wide matmul parallelism cap, and concurrent-backend " +
+			"runs serialize on a global lock so pooled cells would not overlap anyway")
+	}
+	sweepMu.Lock()
+	mm := runtime.GOMAXPROCS(0) / jobs
+	if mm < 1 {
+		mm = 1
+	}
+	return &cellPool{
+		jobs:   jobs,
+		sem:    make(chan struct{}, jobs),
+		prevMM: tensor.SetMatmulParallelism(mm),
+	}
+}
+
+// close releases the matmul cap and the sweep lock. It must be called after
+// every future has been waited on.
+func (cp *cellPool) close() {
+	if cp.jobs <= 1 {
+		return
+	}
+	tensor.SetMatmulParallelism(cp.prevMM)
+	sweepMu.Unlock()
+}
+
+// cellFuture is the handle for one submitted cell.
+type cellFuture struct {
+	done chan struct{}
+	res  ps.Result
+	pan  any
+}
+
+// submit schedules fn. Sequential pools run it inline — submission order IS
+// execution order, exactly the old loops. Pooled submission runs fn on a
+// goroutine gated by the jobs semaphore; a panic inside fn (e.g. an
+// experiment-store failure) is captured and re-raised from wait, so a
+// failing cell still aborts the sweep like it did sequentially.
+func (cp *cellPool) submit(fn func() ps.Result) *cellFuture {
+	f := &cellFuture{done: make(chan struct{})}
+	if cp.jobs <= 1 {
+		// No recover here: a sequential sweep propagates a cell panic from
+		// the submission site immediately, exactly like the old loops.
+		f.res = fn()
+		close(f.done)
+		return f
+	}
+	go func() {
+		cp.sem <- struct{}{}
+		defer func() {
+			f.pan = recover()
+			<-cp.sem
+			close(f.done)
+		}()
+		f.res = fn()
+	}()
+	return f
+}
+
+// wait blocks for the cell and returns its result, re-raising any panic the
+// cell died with.
+func (f *cellFuture) wait() ps.Result {
+	<-f.done
+	if f.pan != nil {
+		panic(fmt.Sprintf("trainer: sweep cell failed: %v", f.pan))
+	}
+	return f.res
+}

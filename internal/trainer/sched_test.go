@@ -1,0 +1,218 @@
+package trainer
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lcasgd/internal/ps"
+	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
+)
+
+// The scheduler's contract: a sweep's output — rows, rendered tables,
+// curves, persisted store bytes — is identical at any Profile.Jobs. The
+// only non-deterministic Result fields are AvgLossPredMs/AvgStepPredMs
+// (real measured wall times, documented in ps.Result), so comparisons
+// normalize exactly those two and nothing else.
+
+// schedProfile is a tinyProfile shrunk further for sweep-shaped tests.
+func schedProfile(jobs int) Profile {
+	p := tinyProfile()
+	p.Epochs = 2
+	p.Jobs = jobs
+	return p
+}
+
+func normalizeResult(r ps.Result) ps.Result {
+	r.AvgLossPredMs, r.AvgStepPredMs = 0, 0
+	return r
+}
+
+func schedScenarios() []scenario.Scenario {
+	return []scenario.Scenario{
+		scenario.None(),
+		{Name: "blip", Events: []scenario.Event{
+			{At: 100, Kind: scenario.Crash, Worker: 1},
+			{At: 170, Kind: scenario.Recover, Worker: 1},
+		}},
+	}
+}
+
+// TestRobustnessJobsDeterminism: the parallel robustness grid is equal to
+// the sequential one row for row (RobustnessRow has only virtual/
+// deterministic fields), and so is the rendered table.
+func TestRobustnessJobsDeterminism(t *testing.T) {
+	scns := schedScenarios()
+	opts := RobustnessOpts{Seeds: 2, RecoverOpt: true}
+	seqRows := Robustness(schedProfile(1), 4, 1, scns, opts)
+	parRows := Robustness(schedProfile(3), 4, 1, scns, opts)
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Fatalf("jobs=3 robustness rows differ from jobs=1:\nseq %+v\npar %+v", seqRows, parRows)
+	}
+	seqTb := RenderRobustness(schedProfile(1), 4, seqRows).String()
+	parTb := RenderRobustness(schedProfile(3), 4, parRows).String()
+	if seqTb != parTb {
+		t.Fatalf("rendered robustness tables differ:\n%s\nvs\n%s", seqTb, parTb)
+	}
+}
+
+// TestFig3PanelJobsDeterminism: full learning curves (every point, every
+// summary field except the measured-ms pair) match across Jobs.
+func TestFig3PanelJobsDeterminism(t *testing.T) {
+	seq := Fig3Panel(schedProfile(1), 4, 1)
+	par := Fig3Panel(schedProfile(3), 4, 1)
+	if !reflect.DeepEqual(seq.Order, par.Order) {
+		t.Fatalf("algo order differs: %v vs %v", seq.Order, par.Order)
+	}
+	for _, a := range seq.Order {
+		sr, pr := normalizeResult(seq.Results[a]), normalizeResult(par.Results[a])
+		if !reflect.DeepEqual(sr, pr) {
+			t.Fatalf("%s: jobs=3 result differs from jobs=1", a)
+		}
+	}
+	if seq.SeriesTable().String() != par.SeriesTable().String() {
+		t.Fatal("series tables differ across Jobs")
+	}
+}
+
+// TestTable1JobsDeterminism shrinks the worker grid so the full Table 1
+// assembly (seed means, BN/Async pairs, baseline extraction) runs cheaply
+// under both pool shapes.
+func TestTable1JobsDeterminism(t *testing.T) {
+	saved := WorkerCounts
+	WorkerCounts = []int{2}
+	defer func() { WorkerCounts = saved }()
+	seeds := []uint64{1, 2}
+	seqRows, sb1, sb2 := Table1(schedProfile(1), true, seeds)
+	parRows, pb1, pb2 := Table1(schedProfile(3), true, seeds)
+	if !reflect.DeepEqual(seqRows, parRows) || sb1 != pb1 || sb2 != pb2 {
+		t.Fatalf("jobs=3 Table1 differs from jobs=1:\nseq %+v\npar %+v", seqRows, parRows)
+	}
+}
+
+// TestSweepJobsStoreByteIdentical: a persisted parallel sweep leaves a
+// byte-identical store to a sequential one — same run dirs, same artifact
+// bytes — except result.json's two measured-ms fields, which are compared
+// after normalization.
+func TestSweepJobsStoreByteIdentical(t *testing.T) {
+	runSweep := func(jobs int) string {
+		dir := t.TempDir()
+		st, err := snapshot.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := schedProfile(jobs)
+		p.Store = st
+		p.CkptEvery = 1
+		Robustness(p, 4, 1, schedScenarios(), RobustnessOpts{Seeds: 2})
+		return dir
+	}
+	seqDir := runSweep(1)
+	parDir := runSweep(3)
+
+	relFiles := func(root string) []string {
+		var files []string
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() {
+				rel, _ := filepath.Rel(root, path)
+				files = append(files, rel)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return files
+	}
+	seqFiles, parFiles := relFiles(seqDir), relFiles(parDir)
+	if !reflect.DeepEqual(seqFiles, parFiles) {
+		t.Fatalf("store layouts differ:\nseq %v\npar %v", seqFiles, parFiles)
+	}
+	for _, rel := range seqFiles {
+		sb, err := os.ReadFile(filepath.Join(seqDir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := os.ReadFile(filepath.Join(parDir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(rel) == "result.json" {
+			var sr, pr ps.Result
+			if err := json.Unmarshal(sb, &sr); err != nil {
+				t.Fatalf("%s: %v", rel, err)
+			}
+			if err := json.Unmarshal(pb, &pr); err != nil {
+				t.Fatalf("%s: %v", rel, err)
+			}
+			if !reflect.DeepEqual(normalizeResult(sr), normalizeResult(pr)) {
+				t.Fatalf("%s differs beyond the measured-ms fields", rel)
+			}
+			continue
+		}
+		if string(sb) != string(pb) {
+			t.Fatalf("store artifact %s is not byte-identical across Jobs", rel)
+		}
+	}
+}
+
+// TestPoolRejectsConcurrentBackend: the jobs × matmul budget rule — the
+// concurrent backend owns the process-wide matmul cap, so combining it with
+// a multi-job pool must fail loudly, not deadlock or oversubscribe.
+func TestPoolRejectsConcurrentBackend(t *testing.T) {
+	p := schedProfile(2)
+	p.Backend = ps.BackendConcurrent
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("newPool accepted Jobs > 1 with the concurrent backend")
+		}
+		if !strings.Contains(r.(string), "concurrent backend") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	newPool(p)
+}
+
+// TestPoolPanicPropagates: a failing cell (e.g. an experiment-store error)
+// aborts the sweep from wait, and the pool still releases the sweep lock so
+// later sweeps are not deadlocked.
+func TestPoolPanicPropagates(t *testing.T) {
+	p := schedProfile(2)
+	func() {
+		pool := newPool(p)
+		defer pool.close()
+		f := pool.submit(func() ps.Result { panic("boom") })
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("cell panic was swallowed")
+			}
+		}()
+		f.wait()
+	}()
+	// The lock must be free: a second pool acquires it without blocking.
+	pool := newPool(p)
+	pool.submit(func() ps.Result { return ps.Result{} }).wait()
+	pool.close()
+}
+
+// BenchmarkRobustnessSweep measures sweep wall-clock at both pool shapes —
+// the scheduler-level number recorded in BENCH_ps.json. On a multi-core
+// runner jobs=4 should approach 4x; on one core the two are equal-ish,
+// which is itself evidence the pool adds no overhead.
+func BenchmarkRobustnessSweep(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		b.Run(map[int]string{1: "jobs1", 4: "jobs4"}[jobs], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Robustness(schedProfile(jobs), 4, 1, []scenario.Scenario{scenario.None()}, RobustnessOpts{})
+			}
+		})
+	}
+}
