@@ -37,9 +37,17 @@
 // A killed invocation re-run with -resume skips completed runs and resumes
 // interrupted ones from their last checkpoint, bit-identically — which is
 // what makes the paper-scale `-full -exp robust` sweep feasible on
-// preemptible runners. -recover-opt adds robustness-table variant rows
-// where a crash-recovered worker restores its state from the last
-// checkpoint instead of re-pulling fresh (the lost-momentum study).
+// preemptible runners. -ckpt-keep retains the newest K checkpoints per run
+// so resume can fall back past a corrupted latest one. -recover-opt adds
+// robustness-table variant rows where a crash-recovered worker restores its
+// state from the last checkpoint instead of re-pulling fresh (the
+// lost-momentum study). -render re-renders every figure and table from the
+// store's persisted results without recomputing anything, and names the
+// missing cell when the sweep never finished it.
+//
+// Decentralized runs: -topology picks the gossip graph AD-PSGD cells
+// communicate on (ring, complete, star, seeded random gossip, or an
+// explicit edge list); parameter-server algorithms ignore it.
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"lcasgd/internal/ps"
 	"lcasgd/internal/scenario"
 	"lcasgd/internal/snapshot"
+	"lcasgd/internal/topology"
 	"lcasgd/internal/trainer"
 )
 
@@ -74,11 +83,15 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "experiment cells to run concurrently in sweeps (0 = GOMAXPROCS, 1 = sequential; byte-identical output at any value)")
 		scn      = flag.String("scenario", "none",
 			fmt.Sprintf("cluster-event timeline for every run: %s", strings.Join(scenario.Names(), ", ")))
+		topo = flag.String("topology", "",
+			fmt.Sprintf("gossip graph for decentralized (AD-PSGD) cells: %s (empty = ring)", strings.Join(topology.Names(), ", ")))
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		ckptDir    = flag.String("ckpt-dir", "", "experiment store directory: every run persists its config, checkpoints and result there")
 		ckptEvery  = flag.Int("ckpt-every", 1, "checkpoint barrier cadence in epochs for persisted runs (with -ckpt-dir)")
+		ckptKeep   = flag.Int("ckpt-keep", 1, "checkpoints to retain per persisted run; keeping more lets -resume fall back past a corrupted latest one")
 		resume     = flag.Bool("resume", false, "with -ckpt-dir: skip completed runs, resume interrupted ones from their last checkpoint")
+		render     = flag.Bool("render", false, "with -ckpt-dir: re-render figures and tables from persisted results without recomputing")
 		recoverOpt = flag.Bool("recover-opt", false, "robust: add variant rows where recovered workers restore the last checkpoint instead of pulling fresh state")
 	)
 	flag.Parse()
@@ -91,6 +104,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
 		os.Exit(2)
+	}
+	// Like scenario.Lookup, the topology errors carry the valid vocabulary.
+	if err := topology.ValidateSpec(*topo); err != nil {
+		fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
+		os.Exit(2)
+	}
+	if *render {
+		// Render cells never compute, so cell-level parallelism buys nothing —
+		// and the sequential path is what propagates the typed
+		// *trainer.RenderMissingError panic to the handler below intact.
+		*jobs = 1
+		*parallel = false
 	}
 	if *jobs == 0 {
 		*jobs = runtime.GOMAXPROCS(0)
@@ -110,6 +135,14 @@ func main() {
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "lcexp: -resume requires -ckpt-dir (nowhere to resume from)")
+		os.Exit(2)
+	}
+	if *render && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "lcexp: -render requires -ckpt-dir (nowhere to load results from)")
+		os.Exit(2)
+	}
+	if *ckptKeep < 1 {
+		fmt.Fprintln(os.Stderr, "lcexp: -ckpt-keep must be at least 1")
 		os.Exit(2)
 	}
 	if *ckptEvery <= 0 && *ckptDir != "" {
@@ -169,11 +202,15 @@ func main() {
 		cifar.Scenario = &sc
 		imagenet.Scenario = &sc
 	}
+	cifar.Topology = *topo
+	imagenet.Topology = *topo
 	if store != nil {
 		for _, p := range []*trainer.Profile{&cifar, &imagenet} {
 			p.Store = store
 			p.CkptEvery = *ckptEvery
+			p.CkptKeep = *ckptKeep
 			p.Resume = *resume
+			p.Render = *render
 		}
 	}
 	ms := trainer.WorkerCounts
@@ -255,8 +292,24 @@ func main() {
 	}
 
 	for _, id := range ids {
-		run(id)
+		runExperiment(run, id)
 	}
+}
+
+// runExperiment runs one experiment id, turning a render-mode miss into a
+// clean diagnostic instead of a stack trace: the error names exactly which
+// cell the store lacks. Other panics propagate unchanged.
+func runExperiment(run func(string), id string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if miss, ok := rec.(*trainer.RenderMissingError); ok {
+				fmt.Fprintf(os.Stderr, "lcexp: %v\n", miss)
+				os.Exit(1)
+			}
+			panic(rec)
+		}
+	}()
+	run(id)
 }
 
 // expandExperiments parses and validates the -exp list before anything

@@ -1,0 +1,51 @@
+package ps
+
+import "fmt"
+
+// ADPSGD is asynchronous decentralized parallel SGD (Lian et al. 2017) —
+// the first algorithm in the repo with no parameter server. Each worker
+// owns a persistent model; an iteration computes a gradient at it,
+// gossip-averages with one random neighbor on the configured communication
+// graph (Config.Topology), and applies the gradient locally. Registered
+// through RegisterStrategy like every post-paper algorithm.
+const ADPSGD Algo = "AD-PSGD"
+
+// adpsgdStrategy is stateless: the engine's decentralized layer
+// (decentral.go) owns all cross-iteration state, including what a
+// checkpoint must carry, so the strategy needs no StrategySnapshotter.
+type adpsgdStrategy struct{}
+
+func (adpsgdStrategy) Algo() Algo { return ADPSGD }
+
+// Setup builds the communication graph from Config.Topology ("" means ring)
+// and flips the engine into decentralized mode. The graph-wiring stream is
+// drawn first and the partner stream second (inside EnableDecentralized) —
+// the fixed label order that makes runs reproducible.
+func (adpsgdStrategy) Setup(e *Engine) {
+	g, err := e.topologyGraph()
+	if err != nil {
+		panic(fmt.Sprintf("ps: %v", err))
+	}
+	e.EnableDecentralized(g)
+}
+
+// Launch is one AD-PSGD iteration: refresh the replica from the worker's
+// own model, compute the gradient on the backend, and one computation plus
+// one gossip-exchange delay later commit it — the average with the chosen
+// neighbor and the local step both land atomically on the event loop, the
+// simulator's analogue of the paper's atomic averaging step.
+func (adpsgdStrategy) Launch(e *Engine, m int) {
+	e.PullLocal(m)
+	wait := e.DispatchGradient(m)
+	dur := e.CompSample(m) + e.CommSample(m)
+	e.AfterWorker(m, dur, func() {
+		if e.Done() {
+			return
+		}
+		wait()
+		e.FoldStats(m)
+		e.GossipCommit(m, e.Gradient(m), 1)
+	})
+}
+
+func (adpsgdStrategy) Finish(*Engine, *Result) {}

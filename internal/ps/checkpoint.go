@@ -115,6 +115,10 @@ func (e *Engine) takeCheckpoint() {
 			e.waits[m] = nil
 		}
 	}
+	// Decentralized runs refresh the consensus cache at the barrier so the
+	// RecoverOpt snapshot and the serialized srv.w both hold the mean of
+	// the workers' models as of this quiescent point.
+	e.refreshConsensus()
 	if e.cfg.RecoverOpt {
 		e.ckptW = append(e.ckptW[:0], e.srv.w...)
 		e.ckptBN = e.srv.bnAcc.Clone()
@@ -188,6 +192,22 @@ func (e *Engine) snapshotBytes() []byte {
 		w.Bool(e.fleet.parked[m])
 		w.Int(e.snapUpdates[m])
 		w.Bool(e.recoverPend[m])
+	}
+
+	// Decentralized per-worker model state (decentral.go). Unlike replicas,
+	// which the next Pull reconstructs, each worker's local weights and
+	// commit counter are live state at a barrier, and the partner-selection
+	// stream's position must replay exactly.
+	if e.dec != nil {
+		w.Bool(true)
+		for m := range e.reps {
+			w.F64s(e.dec.w[m])
+			w.Int(e.dec.iter[m])
+		}
+		st := e.dec.sel.State()
+		w.U64s(st[:])
+	} else {
+		w.Bool(false)
 	}
 
 	// Run-level accounting.
@@ -281,6 +301,24 @@ func (e *Engine) restore(data []byte) error {
 		e.fleet.parked[m] = r.Bool()
 		e.snapUpdates[m] = r.Int()
 		e.recoverPend[m] = r.Bool()
+	}
+
+	hasDec := r.Bool()
+	if r.Err() == nil && hasDec != (e.dec != nil) {
+		return fmt.Errorf("checkpoint decentralized-state presence %v, engine expects %v", hasDec, e.dec != nil)
+	}
+	if hasDec && r.Err() == nil {
+		for m := range e.reps {
+			r.F64sInto(e.dec.w[m])
+			e.dec.iter[m] = r.Int()
+		}
+		selState := r.U64s()
+		if r.Err() == nil && len(selState) != 4 {
+			return fmt.Errorf("neighbor stream snapshot has %d words", len(selState))
+		}
+		if r.Err() == nil {
+			e.dec.sel.SetState([4]uint64{selState[0], selState[1], selState[2], selState[3]})
+		}
 	}
 
 	e.stalenessSum = r.Int()

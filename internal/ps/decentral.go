@@ -1,0 +1,218 @@
+package ps
+
+import (
+	"fmt"
+
+	"lcasgd/internal/topology"
+)
+
+// This file is the engine's decentralized-training layer: per-worker
+// persistent model state on a communication graph, for strategies that
+// replace the parameter server with neighbor averaging (AD-PSGD, Lian et
+// al. 2017). A decentralized strategy calls EnableDecentralized from Setup,
+// then uses PullLocal/GossipCommit instead of Pull/Commit. Everything here
+// runs on the event loop, so gossip averages land in virtual-clock order
+// and both backends stay bit-identical.
+//
+// State ownership changes from the PS algorithms: each worker owns a
+// persistent weight vector (decState.w[m]) that survives across its
+// iterations — the replica is merely the compute view it is refreshed from
+// at each launch — while the server's weight vector srv.w is demoted to a
+// lazily refreshed consensus cache (the mean of the active workers' models)
+// used only for evaluation, checkpoint-recovery snapshots and result
+// reporting.
+//
+// Staleness gets a decentralized definition: there is no server update
+// counter to lag behind, so each gossip exchange samples the iteration lag
+// max(0, iter[partner] − iter[m]) — how many commits ahead the averaged
+// neighbor is. The sample feeds the same mean/max accounting the PS
+// algorithms use, making the robustness grid's staleness columns comparable
+// across both families.
+//
+// Partition semantics change too: a cut worker cannot gossip (no partner
+// passes the reachability filter, in either direction), but it keeps
+// training its own model and consuming budget — on a graph a partition
+// splits the fleet into components that drift apart until a Heal lets them
+// re-mix, rather than silencing individual workers as the PS algorithms do.
+
+// Seed-stream labels for the topology layer, drawn in Setup in this order
+// (after any strategy labels a PS algorithm would draw — the labels only
+// need to be stable per algorithm).
+const (
+	topoGraphLabel    = 410 // graph wiring (consumed only by random topologies)
+	topoNeighborLabel = 411 // gossip partner selection stream
+)
+
+// topologyGraph builds the run's communication graph from Config.Topology
+// (empty means ring), consuming the graph-wiring stream. The stream is
+// drawn whether or not the topology is random, so the seed stream's
+// position does not depend on the spec.
+func (e *Engine) topologyGraph() (*topology.Graph, error) {
+	return topology.Parse(e.cfg.Topology, len(e.reps), e.Rng(topoGraphLabel))
+}
+
+// decState is the engine's decentralized-mode extension: the communication
+// graph, the partner-selection stream, and the per-worker model state.
+type decState struct {
+	graph *topology.Graph
+	sel   *topology.Selector
+	w     [][]float64 // per-worker persistent weights, indexed by rank
+	iter  []int       // per-worker commit counters (the decentralized clock)
+}
+
+// EnableDecentralized switches the engine into decentralized mode on the
+// given communication graph. Call it from Strategy.Setup, after deriving the
+// graph (typically via topology.Parse with the topoGraphLabel stream); the
+// partner-selection stream (topoNeighborLabel) is derived here, so the
+// seed-stream order is fixed: graph wiring first, neighbor stream second.
+// Every worker starts from the common model initialization, exactly like a
+// first Pull from a fresh server.
+func (e *Engine) EnableDecentralized(g *topology.Graph) {
+	if g.Workers() != len(e.reps) {
+		panic(fmt.Sprintf("ps: topology spans %d workers, fleet has %d", g.Workers(), len(e.reps)))
+	}
+	if e.dec != nil {
+		panic("ps: EnableDecentralized called twice")
+	}
+	d := &decState{
+		graph: g,
+		sel:   topology.NewSelector(g, e.Rng(topoNeighborLabel)),
+		w:     make([][]float64, len(e.reps)),
+		iter:  make([]int, len(e.reps)),
+	}
+	for m := range d.w {
+		d.w[m] = append([]float64(nil), e.srv.w...)
+	}
+	e.dec = d
+}
+
+// Topology returns the communication graph of a decentralized run, or nil
+// for a parameter-server run.
+func (e *Engine) Topology() *topology.Graph {
+	if e.dec == nil {
+		return nil
+	}
+	return e.dec.graph
+}
+
+// PullLocal installs worker m's own persistent weights — not the server's —
+// into its replica, along with the global BN statistics. Like Pull it first
+// drains the worker's most recent dispatch, so a crash-recovered worker's
+// orphaned lane task cannot race the refresh.
+//
+// Under Config.RecoverOpt, a worker re-admitted by a Recover event restores
+// the last checkpoint's consensus snapshot into its local model instead:
+// the decentralized analogue of restarting from the checkpoint. Without
+// RecoverOpt a recovered worker simply resumes from its old local weights —
+// they are exactly as stale as the crash left them, which the iteration-lag
+// staleness metric then shows.
+func (e *Engine) PullLocal(m int) {
+	if w := e.waits[m]; w != nil {
+		w()
+	}
+	d := e.dec
+	if e.recoverPend[m] {
+		e.recoverPend[m] = false
+		if e.ckptW != nil {
+			copy(d.w[m], e.ckptW)
+			e.reps[m].pull(d.w[m], e.ckptBN)
+			return
+		}
+	}
+	e.reps[m].pull(d.w[m], e.srv.bnAcc)
+}
+
+// GossipCommit lands worker m's iteration at the current virtual time: one
+// partner draw from the neighbor stream, a pairwise average with the chosen
+// partner's model (the gossip step), the local gradient step on m's own
+// weights at the schedule's learning rate, budget accounting, curve
+// recording against the refreshed consensus, and the worker's next launch.
+// Exactly one draw is consumed whether or not a partner is reachable, so
+// the stream position is a pure function of commit order.
+func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
+	d := e.dec
+	partner := d.sel.Pick(m, func(j int) bool {
+		return e.fleet.active[j] && !e.fleet.cut[j] && !e.fleet.cut[m]
+	})
+	if partner >= 0 {
+		// Decentralized staleness: how many commits ahead the averaged
+		// neighbor is. No sample when the worker steps alone — there is no
+		// exchange to measure.
+		lag := d.iter[partner] - d.iter[m]
+		if lag < 0 {
+			lag = 0
+		}
+		e.stalenessSum += lag
+		if lag > e.maxStale {
+			e.maxStale = lag
+		}
+		e.stalenessN++
+		wm, wp := d.w[m], d.w[partner]
+		for i := range wm {
+			avg := 0.5 * (wm[i] + wp[i])
+			wm[i], wp[i] = avg, avg
+		}
+	}
+	// Local step x_m ← x_m − γ·(g + wd·x_m), mirroring server.apply: the
+	// learning rate is read before the consumed batches advance the epoch.
+	lr := e.srv.lr()
+	wm := d.w[m]
+	if wd := e.srv.wd; wd != 0 {
+		for i, g := range grad {
+			wm[i] -= lr * (g + wd*wm[i])
+		}
+	} else {
+		for i, g := range grad {
+			wm[i] -= lr * g
+		}
+	}
+	d.iter[m]++
+	e.srv.updates++
+	e.srv.batches += batches
+	if e.rec.due(e.srv) {
+		e.refreshConsensus()
+	}
+	e.rec.maybeRecord(e.srv, e.clock.Now(), false)
+	if e.nextCkpt > 0 && e.srv.epoch() >= e.nextCkpt && !e.srv.done() {
+		e.quiescing = true
+	}
+	e.launch(m)
+}
+
+// refreshConsensus recomputes the consensus cache srv.w as the mean of the
+// active workers' local models, folding in ascending rank order so the
+// float result is deterministic. It runs lazily — before a curve point is
+// recorded, at checkpoint barriers, and once at the end of the run — never
+// per commit, so decentralized runs do not pay an O(M·nParams) tax per
+// iteration. With zero active workers (a scenario that empties the fleet)
+// the previous consensus is kept. No-op for parameter-server runs.
+func (e *Engine) refreshConsensus() {
+	if e.dec == nil {
+		return
+	}
+	n := 0
+	for m := range e.dec.w {
+		if e.fleet.active[m] {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	w := e.srv.w
+	for i := range w {
+		w[i] = 0
+	}
+	for m := range e.dec.w {
+		if !e.fleet.active[m] {
+			continue
+		}
+		for i, v := range e.dec.w[m] {
+			w[i] += v
+		}
+	}
+	inv := 1 / float64(n)
+	for i := range w {
+		w[i] *= inv
+	}
+}

@@ -67,6 +67,10 @@ type Engine struct {
 	ckptBN      *core.BNAccumulator
 	ckptUpdates int
 	recoverPend []bool
+
+	// Decentralized-mode state (decentral.go): per-worker persistent
+	// models on a communication graph. Nil for parameter-server runs.
+	dec *decState
 }
 
 // newEngine builds the shared preamble the five run* monoliths used to
@@ -146,6 +150,7 @@ func (e *Engine) loop() Result {
 			e.takeCheckpoint()
 		}
 	}
+	e.refreshConsensus()
 	points := e.rec.finish(e.srv, e.clock.Now())
 	res := Result{
 		Algo:           e.strategy.Algo(),
@@ -178,7 +183,11 @@ func (e *Engine) launch(m int) {
 		}
 		return
 	}
-	if e.fleet.cut[m] && !e.healArmed(m) {
+	if e.dec == nil && e.fleet.cut[m] && !e.healArmed(m) {
+		// A partitioned PS worker with no heal in sight computes for a
+		// server it can never reach, so it parks. A decentralized worker
+		// keeps training its own model regardless — its commits land
+		// locally — so it never parks.
 		e.fleet.parked[m] = true
 		return
 	}
@@ -323,9 +332,11 @@ func (e *Engine) Gradient(m int) []float64 { return e.reps[m].grad }
 
 // FoldStats folds worker m's batch-normalization statistics into the global
 // accumulator per the configured BN mode (Formulas 6–7). A partitioned
-// worker's statistics are dropped with the rest of its commit.
+// worker's statistics are dropped with the rest of its commit — except in
+// decentralized mode, where the commit itself lands locally: the batch
+// still shapes a model that will eventually re-mix, so its statistics fold.
 func (e *Engine) FoldStats(m int) {
-	if e.fleet.cut[m] {
+	if e.dec == nil && e.fleet.cut[m] {
 		return
 	}
 	e.srv.bnAcc.Update(e.reps[m].stats())

@@ -8,9 +8,10 @@ import (
 	"lcasgd/internal/scenario"
 )
 
-// allAlgos is the full algorithm matrix: the paper's five plus the
-// staleness-aware sixth.
-var allAlgos = []Algo{SGD, SSGD, ASGD, SAASGD, DCASGD, LCASGD}
+// allAlgos is the full algorithm matrix: the paper's five plus the post-
+// paper additions, including the decentralized AD-PSGD — every equivalence,
+// scenario, resume and fingerprint test quantifies over it.
+var allAlgos = []Algo{SGD, SSGD, ASGD, SAASGD, DCASGD, LCASGD, ADPSGD}
 
 // equivalenceScenarios are the non-trivial timelines every algorithm must
 // stay backend-bit-identical under: overlapping crashes with recoveries on

@@ -149,6 +149,14 @@ func newRecorder(env Env, modelSeed uint64, be Backend) *recorder {
 	}
 }
 
+// due reports whether maybeRecord would record a point now — the engine's
+// decentralized layer uses it to refresh the consensus cache only when an
+// evaluation is actually about to read it.
+func (r *recorder) due(srv *server) bool {
+	ep := srv.epoch()
+	return ep != r.lastEpoch && ep%r.evalEvery == 0
+}
+
 // maybeRecord evaluates and appends a point when a new (multiple-of-
 // EvalEvery) epoch boundary has been crossed, or when force is set (final
 // point).

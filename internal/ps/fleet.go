@@ -196,7 +196,9 @@ func (e *Engine) healArmed(m int) bool {
 // instead of hanging.
 func (e *Engine) fleetStalled() bool {
 	for m, a := range e.fleet.active {
-		if a && (!e.fleet.cut[m] || e.healArmed(m)) {
+		// In decentralized mode a cut worker still progresses (its commits
+		// land on its own model), so any active worker means no stall.
+		if a && (e.dec != nil || !e.fleet.cut[m] || e.healArmed(m)) {
 			return false
 		}
 	}

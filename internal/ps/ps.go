@@ -1,12 +1,15 @@
 // Package ps implements the five training algorithms the paper evaluates —
 // sequential SGD, synchronous SGD (SSGD, Formula 1), asynchronous SGD
 // (ASGD, Formula 2), delay-compensated ASGD (DC-ASGD, Formula 3, Zheng et
-// al. 2017) and the paper's LC-ASGD (Algorithms 1–4) — plus a sixth beyond
-// the paper, staleness-aware ASGD (SA-ASGD, Zhang et al. 2016), as
-// parameter-server strategies executed on a deterministic discrete-event
-// cluster simulation. A Config.Scenario additionally replays cluster events
-// (congestion phases, crashes/recoveries, elastic resizes) on the simulated
-// clock, so every algorithm can be stressed on a non-stationary fleet.
+// al. 2017) and the paper's LC-ASGD (Algorithms 1–4) — plus algorithms
+// beyond the paper: staleness-aware ASGD (SA-ASGD, Zhang et al. 2016) as a
+// parameter-server strategy, and decentralized AD-PSGD (Lian et al. 2017),
+// which replaces the server with gossip averaging on a communication graph
+// (Config.Topology, internal/topology). All execute on a deterministic
+// discrete-event cluster simulation. A Config.Scenario additionally replays
+// cluster events (congestion phases, crashes/recoveries, elastic resizes,
+// partitions) on the simulated clock, so every algorithm can be stressed on
+// a non-stationary fleet.
 //
 // The package is layered (see ROADMAP.md's Architecture section):
 //
@@ -83,6 +86,13 @@ type Config struct {
 	// worker crashes/recoveries, elastic fleet resizes — on the simulated
 	// clock during the run. Nil means the stationary cluster of the paper.
 	Scenario *scenario.Scenario
+
+	// Topology names the communication graph decentralized algorithms
+	// (AD-PSGD) gossip on — a topology.Parse spec: "ring" (the default when
+	// empty), "complete", "star", "gossip" (seeded random), or
+	// "edges:i-j,…". Parameter-server algorithms ignore it, but it is part
+	// of ConfigKey like every field that can shape a trajectory.
+	Topology string
 
 	EvalEvery int // epochs between curve points (default 1)
 	EvalBatch int // inference batch size (default 150)

@@ -2,6 +2,8 @@ package ps
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"lcasgd/internal/core"
@@ -65,9 +67,29 @@ func RegisterStrategy(algo Algo, factory func(Config) Strategy) {
 	strategyMu.Lock()
 	defer strategyMu.Unlock()
 	if _, dup := strategies[algo]; dup {
-		panic(fmt.Sprintf("ps: RegisterStrategy called twice for %q", algo))
+		panic(fmt.Sprintf("ps: RegisterStrategy called twice for %q (registered: %s)",
+			algo, strings.Join(registeredNamesLocked(), ", ")))
 	}
 	strategies[algo] = factory
+}
+
+// registeredNamesLocked returns the sorted registered algorithm names;
+// callers must hold strategyMu (either mode).
+func registeredNamesLocked() []string {
+	names := make([]string, 0, len(strategies))
+	for a := range strategies {
+		names = append(names, string(a))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisteredAlgos returns the sorted names of every registered algorithm —
+// the vocabulary error messages and flag validation print.
+func RegisteredAlgos() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	return registeredNamesLocked()
 }
 
 // strategyFor instantiates the registered strategy for cfg.Algo.
@@ -76,7 +98,8 @@ func strategyFor(cfg Config) Strategy {
 	factory := strategies[cfg.Algo]
 	strategyMu.RUnlock()
 	if factory == nil {
-		panic(fmt.Sprintf("ps: unknown algorithm %q", cfg.Algo))
+		panic(fmt.Sprintf("ps: unknown algorithm %q (registered: %s)",
+			cfg.Algo, strings.Join(RegisteredAlgos(), ", ")))
 	}
 	return factory(cfg)
 }
@@ -92,4 +115,5 @@ func init() {
 	})
 	RegisterStrategy(LCASGD, func(Config) Strategy { return &lcStrategy{} })
 	RegisterStrategy(SAASGD, func(Config) Strategy { return saStrategy{} })
+	RegisterStrategy(ADPSGD, func(Config) Strategy { return adpsgdStrategy{} })
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Store is the on-disk experiment store: one content-addressed directory
@@ -18,13 +19,18 @@ import (
 // interrupted one resumes from its last checkpoint, and only never-started
 // runs pay full compute.
 //
-//	<root>/runs/<key>/config.json   run configuration + profile metadata
-//	                  ckpt.bin      latest checkpoint (codec stream)
-//	                  ckpt.json     checkpoint metadata (epoch, progress)
-//	                  curve.json    learning-curve points of the final result
-//	                  result.json   full final result; its presence marks the
-//	                                run complete
-//	<root>/tables/<name>.json|.txt  sweep artifacts
+//	<root>/runs/<key>/config.json      run configuration + profile metadata
+//	                  ckpt-NNNNNNNN.bin   checkpoint payload at barrier epoch N
+//	                  ckpt-NNNNNNNN.json  its metadata (epoch, progress)
+//	                  curve.json       learning-curve points of the final result
+//	                  result.json      full final result; its presence marks
+//	                                   the run complete
+//	<root>/tables/<name>.json|.txt     sweep artifacts
+//
+// Checkpoints are epoch-numbered; a RunDir retains the newest Keep of them
+// (default 1), pruning older ones after each save. Keeping K > 1 lets resume
+// fall back past a latest checkpoint that turns out to be unreadable or
+// undecodable (disk corruption) instead of recomputing from scratch.
 //
 // All writes are atomic (temp file + rename), so a run killed mid-write
 // leaves the previous artifact intact rather than a truncated one.
@@ -62,7 +68,7 @@ func (s *Store) Run(key string) (*RunDir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("snapshot: run dir: %w", err)
 	}
-	return &RunDir{dir: dir, key: key}, nil
+	return &RunDir{dir: dir, key: key, keep: 1}, nil
 }
 
 // Runs lists the run-directory names currently in the store, sorted.
@@ -92,8 +98,18 @@ func (s *Store) SaveTable(name string, rows any, text string) error {
 
 // RunDir is one run's artifact directory.
 type RunDir struct {
-	dir string
-	key string
+	dir  string
+	key  string
+	keep int // checkpoints retained (≥1)
+}
+
+// SetKeep sets how many checkpoints the directory retains; values below 1
+// mean 1 (the default — only the latest survives).
+func (r *RunDir) SetKeep(k int) {
+	if k < 1 {
+		k = 1
+	}
+	r.keep = k
 }
 
 // Dir returns the directory path.
@@ -117,24 +133,93 @@ func (r *RunDir) WriteConfig(v any) error {
 	return writeJSONAtomic(filepath.Join(r.dir, "config.json"), v)
 }
 
-// SaveCheckpoint atomically replaces the run's checkpoint and its metadata.
-// Only the latest checkpoint is kept: resume wants the most recent quiescent
-// state, and keeping every barrier would grow the store linearly with run
-// length for no resume benefit.
+// ckptBase returns the epoch-numbered checkpoint filename stem.
+func ckptBase(epoch int) string { return fmt.Sprintf("ckpt-%08d", epoch) }
+
+// SaveCheckpoint stores a checkpoint under its barrier epoch, then prunes
+// checkpoints beyond the retention count (SetKeep). The payload is written
+// before the metadata — a metadata file always has its payload — and writes
+// are atomic, so a crash at any point leaves only complete checkpoints
+// visible. Saving the same epoch twice overwrites idempotently.
 func (r *RunDir) SaveCheckpoint(data []byte, meta CkptMeta) error {
 	meta.Key = r.key
-	if err := writeFileAtomic(filepath.Join(r.dir, "ckpt.bin"), data); err != nil {
+	base := ckptBase(meta.Epoch)
+	if err := writeFileAtomic(filepath.Join(r.dir, base+".bin"), data); err != nil {
 		return err
 	}
-	return writeJSONAtomic(filepath.Join(r.dir, "ckpt.json"), meta)
+	if err := writeJSONAtomic(filepath.Join(r.dir, base+".json"), meta); err != nil {
+		return err
+	}
+	return r.prune()
 }
 
-// LoadCheckpoint returns the stored checkpoint payload and metadata, or
-// ErrNoCheckpoint when the run has none. A key mismatch (two configs
-// colliding on the same 16-char directory) is surfaced rather than resumed.
-func (r *RunDir) LoadCheckpoint() ([]byte, CkptMeta, error) {
+// prune removes checkpoints beyond the newest keep, metadata first so a
+// concurrent reader never finds a meta whose payload is gone for good, then
+// any orphaned payloads left by an earlier crash.
+func (r *RunDir) prune() error {
+	metas, err := r.Checkpoints()
+	if err != nil {
+		return err
+	}
+	live := map[string]bool{}
+	for i, m := range metas {
+		if i < r.keep {
+			live[ckptBase(m.Epoch)] = true
+			continue
+		}
+		base := ckptBase(m.Epoch)
+		if err := os.Remove(filepath.Join(r.dir, base+".json")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("snapshot: prune: %w", err)
+		}
+		if err := os.Remove(filepath.Join(r.dir, base+".bin")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("snapshot: prune: %w", err)
+		}
+	}
+	bins, err := filepath.Glob(filepath.Join(r.dir, "ckpt-*.bin"))
+	if err != nil {
+		return err
+	}
+	for _, bin := range bins {
+		base := strings.TrimSuffix(filepath.Base(bin), ".bin")
+		if live[base] {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(r.dir, base+".json")); errors.Is(err, fs.ErrNotExist) {
+			if err := os.Remove(bin); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("snapshot: prune orphan: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoints lists the stored checkpoints' metadata, newest (highest
+// epoch) first. Unreadable metadata files are skipped — resume treats them
+// like absent checkpoints rather than refusing the whole run.
+func (r *RunDir) Checkpoints() ([]CkptMeta, error) {
+	paths, err := filepath.Glob(filepath.Join(r.dir, "ckpt-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]CkptMeta, 0, len(paths))
+	for _, p := range paths {
+		var m CkptMeta
+		if err := readJSON(p, &m); err != nil {
+			continue
+		}
+		metas = append(metas, m)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Epoch > metas[j].Epoch })
+	return metas, nil
+}
+
+// LoadCheckpointAt returns the checkpoint stored for one barrier epoch, or
+// ErrNoCheckpoint. A key mismatch (two configs colliding on the same
+// 16-char directory) is surfaced rather than resumed.
+func (r *RunDir) LoadCheckpointAt(epoch int) ([]byte, CkptMeta, error) {
+	base := ckptBase(epoch)
 	var meta CkptMeta
-	if err := readJSON(filepath.Join(r.dir, "ckpt.json"), &meta); err != nil {
+	if err := readJSON(filepath.Join(r.dir, base+".json"), &meta); err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, meta, ErrNoCheckpoint
 		}
@@ -144,7 +229,7 @@ func (r *RunDir) LoadCheckpoint() ([]byte, CkptMeta, error) {
 		return nil, meta, fmt.Errorf("snapshot: run dir %s holds checkpoint for key %.16s…, want %.16s…",
 			r.dir, meta.Key, r.key)
 	}
-	data, err := os.ReadFile(filepath.Join(r.dir, "ckpt.bin"))
+	data, err := os.ReadFile(filepath.Join(r.dir, base+".bin"))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, meta, ErrNoCheckpoint
@@ -152,6 +237,28 @@ func (r *RunDir) LoadCheckpoint() ([]byte, CkptMeta, error) {
 		return nil, meta, err
 	}
 	return data, meta, nil
+}
+
+// LoadCheckpoint returns the newest stored checkpoint whose payload is
+// readable, or ErrNoCheckpoint when the run has none. Key collisions are
+// surfaced as errors. Deeper validation (codec checksum, config key) is the
+// caller's job — ps.Resume rejects a corrupt payload, and resume logic is
+// expected to fall back to older epochs via Checkpoints/LoadCheckpointAt.
+func (r *RunDir) LoadCheckpoint() ([]byte, CkptMeta, error) {
+	metas, err := r.Checkpoints()
+	if err != nil {
+		return nil, CkptMeta{}, err
+	}
+	for _, m := range metas {
+		data, meta, err := r.LoadCheckpointAt(m.Epoch)
+		if err == nil {
+			return data, meta, nil
+		}
+		if !errors.Is(err, ErrNoCheckpoint) {
+			return nil, meta, err
+		}
+	}
+	return nil, CkptMeta{}, ErrNoCheckpoint
 }
 
 // SaveResult stores the final result document and marks the run complete.

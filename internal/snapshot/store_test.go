@@ -75,6 +75,103 @@ func TestStoreRunLifecycle(t *testing.T) {
 	}
 }
 
+// With the default retention (keep 1) every save prunes the previous
+// checkpoint — today's single-slot behavior, now expressed as K=1.
+func TestStoreKeepDefaultRetainsOne(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := st.Run("0123456789abcdef0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 1; ep <= 3; ep++ {
+		if err := rd.SaveCheckpoint([]byte{byte(ep)}, CkptMeta{Epoch: ep}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas, err := rd.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].Epoch != 3 {
+		t.Fatalf("default retention kept %+v, want only epoch 3", metas)
+	}
+}
+
+// SetKeep(K) retains the newest K checkpoints, listed newest-first, and
+// LoadCheckpoint returns the newest.
+func TestStoreKeepKRetainsNewest(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := st.Run("0123456789abcdef0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.SetKeep(2)
+	for ep := 1; ep <= 4; ep++ {
+		if err := rd.SaveCheckpoint([]byte{byte(ep)}, CkptMeta{Epoch: ep, Updates: ep * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas, err := rd.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].Epoch != 4 || metas[1].Epoch != 3 {
+		t.Fatalf("retention kept %+v, want epochs [4 3]", metas)
+	}
+	data, meta, err := rd.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Epoch != 4 || data[0] != 4 {
+		t.Fatalf("LoadCheckpoint returned epoch %d payload %v, want newest", meta.Epoch, data)
+	}
+	if _, _, err := rd.LoadCheckpointAt(1); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("pruned epoch still loads: %v", err)
+	}
+	// Pruned files are actually gone from disk.
+	bins, _ := filepath.Glob(filepath.Join(rd.Dir(), "ckpt-*.bin"))
+	if len(bins) != 2 {
+		t.Fatalf("%d payload files on disk, want 2: %v", len(bins), bins)
+	}
+}
+
+// When the newest checkpoint's payload is lost or mangled on disk,
+// LoadCheckpoint falls back to the next-newest readable one instead of
+// failing the run. (Payloads that read fine but fail codec validation are
+// the resume loop's job — see trainer's resumeFromCheckpoint.)
+func TestStoreFallsBackPastMissingNewestPayload(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := st.Run("0123456789abcdef0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.SetKeep(3)
+	for ep := 1; ep <= 3; ep++ {
+		if err := rd.SaveCheckpoint([]byte{byte(ep)}, CkptMeta{Epoch: ep}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(filepath.Join(rd.Dir(), "ckpt-00000003.bin")); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, err := rd.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Epoch != 2 || data[0] != 2 {
+		t.Fatalf("fallback loaded epoch %d, want 2", meta.Epoch)
+	}
+}
+
 func TestStoreDetectsKeyCollision(t *testing.T) {
 	st, err := OpenStore(t.TempDir())
 	if err != nil {

@@ -1,0 +1,346 @@
+// Package topology models the communication graphs decentralized training
+// runs on. A Graph is an undirected graph over the worker ranks; the engine
+// uses it three ways:
+//
+//   - Neighbor lists drive gossip partner selection (Selector), with the
+//     randomness drawn from a labeled stream of the run's seed RNG so the
+//     draw sequence is part of the reproducibility contract.
+//   - The Metropolis–Hastings mixing matrix (Mixing) is the W of
+//     decentralized SGD analyses (Lian et al. 2017): symmetric and doubly
+//     stochastic, so repeated averaging converges to the uniform consensus.
+//   - Connectivity queries (Components, Connected) give scenario partitions
+//     their decentralized meaning: cutting workers splits the graph into
+//     components instead of silencing individual ranks.
+//
+// Graphs are built either by the named constructors (Ring, Complete, Star,
+// Gossip) or from a user spec string (Parse): "ring", "complete", "star",
+// "gossip", or "edges:0-1,1-2,…" for an explicit edge list. Construction is
+// deterministic: the only randomness (Gossip's wiring) comes from the RNG
+// the caller passes in.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lcasgd/internal/rng"
+)
+
+// Graph is an immutable undirected communication graph over n workers,
+// identified by ranks 0..n-1. Self-loops and parallel edges are never
+// stored.
+type Graph struct {
+	name string
+	adj  [][]int // sorted neighbor lists
+}
+
+// New builds a graph over n workers from an explicit edge list. Edges
+// touching ranks outside 0..n-1 are skipped — mirroring the scenario
+// convention that one spec serves any worker count — and duplicates and
+// self-loops are dropped.
+func New(name string, n int, edges [][2]int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: graph over %d workers", n))
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		i, j := e[0], e[1]
+		if i < 0 || j < 0 || i >= n || j >= n || i == j {
+			continue
+		}
+		if !contains(adj[i], j) {
+			adj[i] = append(adj[i], j)
+			adj[j] = append(adj[j], i)
+		}
+	}
+	for _, ns := range adj {
+		sort.Ints(ns)
+	}
+	return &Graph{name: name, adj: adj}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Ring connects rank m to (m±1) mod n — the sparsest connected regular
+// topology, and the default for decentralized runs.
+func Ring(n int) *Graph {
+	edges := make([][2]int, 0, n)
+	for m := 0; m < n; m++ {
+		edges = append(edges, [2]int{m, (m + 1) % n})
+	}
+	return New("ring", n, edges)
+}
+
+// Complete connects every pair of ranks — gossip averaging with a uniform
+// random partner, the densest topology.
+func Complete(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return New("complete", n, edges)
+}
+
+// Star connects every rank to rank 0 — the parameter-server shape expressed
+// as a gossip graph, useful as the bridge case between the PS algorithms and
+// truly decentralized ones.
+func Star(n int) *Graph {
+	var edges [][2]int
+	for m := 1; m < n; m++ {
+		edges = append(edges, [2]int{0, m})
+	}
+	return New("star", n, edges)
+}
+
+// Gossip builds a seeded random graph: a random Hamiltonian cycle (so the
+// graph is connected by construction) plus ⌊n/2⌋ random chords. All
+// randomness comes from g, so the wiring is a pure function of the stream's
+// state — the same run seed always yields the same graph.
+func Gossip(n int, g *rng.RNG) *Graph {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(g.Uint64() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{perm[i], perm[(i+1)%n]})
+	}
+	for k := 0; k < n/2; k++ {
+		i := int(g.Uint64() % uint64(n))
+		j := int(g.Uint64() % uint64(n))
+		edges = append(edges, [2]int{i, j}) // self/dup edges dropped by New
+	}
+	return New("gossip", n, edges)
+}
+
+// Parse builds the graph named by spec over n workers. Valid specs are the
+// Names() vocabulary: "ring", "complete", "star", "gossip", or
+// "edges:i-j,k-l,…". The RNG is consumed only by random topologies
+// ("gossip"), but callers should pass a dedicated labeled stream
+// unconditionally so the parent stream's position does not depend on the
+// spec.
+func Parse(spec string, n int, g *rng.RNG) (*Graph, error) {
+	switch spec {
+	case "", "ring":
+		return Ring(n), nil
+	case "complete":
+		return Complete(n), nil
+	case "star":
+		return Star(n), nil
+	case "gossip":
+		return Gossip(n, g), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "edges:"); ok {
+		edges, err := parseEdgeList(rest)
+		if err != nil {
+			return nil, err
+		}
+		return New(spec, n, edges), nil
+	}
+	return nil, fmt.Errorf("topology: unknown spec %q (valid: %s)", spec, strings.Join(Names(), ", "))
+}
+
+// ValidateSpec checks a spec string without building a graph — the upfront
+// flag validation cmd/lcexp does before any dataset work.
+func ValidateSpec(spec string) error {
+	switch spec {
+	case "", "ring", "complete", "star", "gossip":
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "edges:"); ok {
+		_, err := parseEdgeList(rest)
+		return err
+	}
+	return fmt.Errorf("topology: unknown spec %q (valid: %s)", spec, strings.Join(Names(), ", "))
+}
+
+// Names lists the valid topology spec forms, for flag vocabulary messages.
+func Names() []string {
+	return []string{"ring", "complete", "star", "gossip", "edges:i-j,k-l,..."}
+}
+
+// parseEdgeList parses "0-1,1-2,…" into rank pairs.
+func parseEdgeList(s string) ([][2]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("topology: empty edge list")
+	}
+	var edges [][2]int
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(part), "-")
+		if !ok {
+			return nil, fmt.Errorf("topology: edge %q is not of the form i-j", part)
+		}
+		i, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, fmt.Errorf("topology: edge %q: %v", part, err)
+		}
+		j, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, fmt.Errorf("topology: edge %q: %v", part, err)
+		}
+		if i < 0 || j < 0 {
+			return nil, fmt.Errorf("topology: edge %q has a negative rank", part)
+		}
+		if i == j {
+			return nil, fmt.Errorf("topology: edge %q is a self-loop", part)
+		}
+		edges = append(edges, [2]int{i, j})
+	}
+	return edges, nil
+}
+
+// Name returns the spec the graph was built from.
+func (g *Graph) Name() string { return g.name }
+
+// Workers returns the number of ranks the graph spans.
+func (g *Graph) Workers() int { return len(g.adj) }
+
+// Neighbors returns rank m's sorted neighbor list. Callers must not mutate
+// it.
+func (g *Graph) Neighbors(m int) []int { return g.adj[m] }
+
+// Degree returns rank m's neighbor count.
+func (g *Graph) Degree(m int) int { return len(g.adj[m]) }
+
+// HasEdge reports whether ranks i and j are directly connected.
+func (g *Graph) HasEdge(i, j int) bool { return contains(g.adj[i], j) }
+
+// Mixing returns the Metropolis–Hastings mixing matrix:
+//
+//	W[i][j] = 1/(1+max(deg i, deg j))  for each edge {i,j}
+//	W[i][i] = 1 − Σ_{j≠i} W[i][j]
+//
+// which is symmetric and doubly stochastic for every undirected graph — the
+// property that makes repeated gossip averaging contract toward consensus.
+func (g *Graph) Mixing() [][]float64 {
+	n := len(g.adj)
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i, ns := range g.adj {
+		rowSum := 0.0
+		for _, j := range ns {
+			d := len(g.adj[i])
+			if dj := len(g.adj[j]); dj > d {
+				d = dj
+			}
+			w[i][j] = 1 / float64(1+d)
+			rowSum += w[i][j]
+		}
+		w[i][i] = 1 - rowSum
+	}
+	return w
+}
+
+// Components labels each rank with a connected-component id, treating ranks
+// with down[m] set as removed from the graph (their label is −1 and no path
+// crosses them). Ids are assigned in ascending order of each component's
+// lowest rank, so the labeling is canonical. A nil down means all ranks are
+// up.
+func (g *Graph) Components(down []bool) []int {
+	n := len(g.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var queue []int
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 || (down != nil && down[s]) {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if comp[v] >= 0 || (down != nil && down[v]) {
+					continue
+				}
+				comp[v] = next
+				queue = append(queue, v)
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// Connected reports whether the up ranks form a single component (a graph
+// with zero up ranks counts as connected).
+func (g *Graph) Connected(down []bool) bool {
+	comp := g.Components(down)
+	for _, c := range comp {
+		if c > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Selector draws gossip partners from a graph using a dedicated RNG stream.
+// Every Pick consumes exactly one draw whether or not a partner exists, so
+// the stream's position depends only on how many commits have happened — a
+// pure function of the run's event order, which keeps backends and resumed
+// runs bit-identical.
+type Selector struct {
+	g   *Graph
+	rng *rng.RNG
+}
+
+// NewSelector wraps graph g with the given stream (typically a labeled child
+// of the run's seed RNG).
+func NewSelector(g *Graph, r *rng.RNG) *Selector {
+	return &Selector{g: g, rng: r}
+}
+
+// Pick returns rank m's gossip partner for this commit: a uniform draw over
+// the neighbors j with ok(j) true, or −1 when none qualify (the worker then
+// steps locally without averaging). Exactly one RNG draw is consumed either
+// way.
+func (s *Selector) Pick(m int, ok func(j int) bool) int {
+	draw := s.rng.Uint64()
+	reachable := 0
+	for _, j := range s.g.Neighbors(m) {
+		if ok(j) {
+			reachable++
+		}
+	}
+	if reachable == 0 {
+		return -1
+	}
+	k := int(draw % uint64(reachable))
+	for _, j := range s.g.Neighbors(m) {
+		if !ok(j) {
+			continue
+		}
+		if k == 0 {
+			return j
+		}
+		k--
+	}
+	panic("topology: unreachable")
+}
+
+// State exposes the selector stream's position for checkpointing.
+func (s *Selector) State() [4]uint64 { return s.rng.State() }
+
+// SetState restores a position captured by State.
+func (s *Selector) SetState(st [4]uint64) { s.rng.SetState(st) }

@@ -35,6 +35,21 @@ type storedConfig struct {
 	Config  ps.Config `json:"config"`
 }
 
+// RenderMissingError is the panic value of a render-mode cell whose
+// persisted result is absent: the sweep being re-rendered never completed
+// this cell. cmd/lcexp catches it to print a clear message instead of a
+// stack trace.
+type RenderMissingError struct {
+	Profile string
+	Key     string
+	Cfg     ps.Config
+}
+
+func (e *RenderMissingError) Error() string {
+	return fmt.Sprintf("render: no persisted result for cell %s algo=%s M=%d seed=%d (run %.16s…) — run the experiment with -ckpt-dir first",
+		e.Profile, e.Cfg.Algo, e.Cfg.Workers, e.Cfg.Seed, e.Key)
+}
+
 // runCellPersisted executes env through the profile's experiment store.
 func runCellPersisted(p Profile, env ps.Env) ps.Result {
 	cfg := env.Cfg
@@ -42,6 +57,20 @@ func runCellPersisted(p Profile, env ps.Env) ps.Result {
 	rd, err := p.Store.Run(key)
 	if err != nil {
 		panic(fmt.Sprintf("trainer: experiment store: %v", err))
+	}
+	rd.SetKeep(p.CkptKeep)
+
+	if p.Render {
+		// Render mode computes nothing and writes nothing: either the cell's
+		// persisted result exists, or the error names exactly which cell is
+		// missing.
+		var res ps.Result
+		if rd.HasResult() {
+			if err := rd.LoadResult(&res); err == nil {
+				return res
+			}
+		}
+		panic(&RenderMissingError{Profile: p.Name, Key: key, Cfg: cfg})
 	}
 
 	if p.Resume && rd.HasResult() {
@@ -75,24 +104,34 @@ func runCellPersisted(p Profile, env ps.Env) ps.Result {
 	return res
 }
 
-// resumeFromCheckpoint attempts case 2 of the lifecycle. A missing
-// checkpoint is the normal fresh-run path; an unreadable or incompatible
-// one (corrupted file, changed binary semantics) falls back to a full
-// re-run rather than aborting the sweep.
+// resumeFromCheckpoint attempts case 2 of the lifecycle, trying stored
+// checkpoints newest-first: a checkpoint that reads or decodes badly
+// (corrupted file, changed binary semantics) falls back to the next-older
+// one (Profile.CkptKeep retains more than the latest), and only when every
+// stored checkpoint fails does the cell fall back to a full re-run rather
+// than aborting the sweep. A key-collision error still aborts: that is a
+// store-integrity problem, not a corrupt artifact.
 func resumeFromCheckpoint(p Profile, env ps.Env, rd *snapshot.RunDir) (ps.Result, bool) {
 	if !p.Resume || env.Cfg.CheckpointEvery <= 0 {
 		return ps.Result{}, false
 	}
-	data, _, err := rd.LoadCheckpoint()
+	metas, err := rd.Checkpoints()
 	if err != nil {
-		if !errors.Is(err, snapshot.ErrNoCheckpoint) {
+		panic(fmt.Sprintf("trainer: experiment store: %v", err))
+	}
+	for _, meta := range metas {
+		data, _, err := rd.LoadCheckpointAt(meta.Epoch)
+		if err != nil {
+			if errors.Is(err, snapshot.ErrNoCheckpoint) {
+				continue
+			}
 			panic(fmt.Sprintf("trainer: experiment store: %v", err))
 		}
-		return ps.Result{}, false
+		res, err := ps.Resume(env, data)
+		if err != nil {
+			continue
+		}
+		return res, true
 	}
-	res, err := ps.Resume(env, data)
-	if err != nil {
-		return ps.Result{}, false
-	}
-	return res, true
+	return ps.Result{}, false
 }

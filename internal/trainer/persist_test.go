@@ -2,6 +2,7 @@ package trainer
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,10 +64,17 @@ func TestPersistedCellLifecycle(t *testing.T) {
 	if !rd.HasResult() {
 		t.Fatal("completed run left no result.json")
 	}
-	for _, name := range []string{"config.json", "ckpt.bin", "ckpt.json", "curve.json"} {
+	for _, name := range []string{"config.json", "curve.json"} {
 		if _, err := os.Stat(filepath.Join(rd.Dir(), name)); err != nil {
 			t.Fatalf("missing artifact %s: %v", name, err)
 		}
+	}
+	metas, err := rd.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 { // default retention keeps only the newest barrier
+		t.Fatalf("run dir retains %d checkpoints, want 1: %+v", len(metas), metas)
 	}
 
 	// Completed + resume: the stored result is returned as-is. Proven by
@@ -102,11 +110,102 @@ func TestPersistedCellLifecycle(t *testing.T) {
 	if err := os.Remove(filepath.Join(rd.Dir(), "result.json")); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(rd.Dir(), "ckpt.bin"), []byte("garbage"), 0o644); err != nil {
+	metas, err = rd.Checkpoints()
+	if err != nil {
 		t.Fatal(err)
+	}
+	for _, meta := range metas {
+		name := fmt.Sprintf("ckpt-%08d.bin", meta.Epoch)
+		if err := os.WriteFile(filepath.Join(rd.Dir(), name), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	recovered := RunCell(pr, ps.ASGD, 4, core.BNAsync, 1)
 	assertSameResult(t, "corrupt-fallback", orig, recovered)
+}
+
+// TestResumeFallsBackPastCorruptNewestCheckpoint: with CkptKeep > 1, a
+// newest checkpoint whose payload fails to decode does not force a full
+// re-run — the resume loop walks back to the next-older stored barrier and
+// still reproduces the uninterrupted answer bit for bit.
+func TestResumeFallsBackPastCorruptNewestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	p := persistProfile(t, dir, false)
+	p.CkptKeep = 2
+
+	orig := RunCell(p, ps.ASGD, 4, core.BNAsync, 1)
+	key := ps.ConfigKey(cellConfig(p, ps.ASGD, 4, core.BNAsync, 1))
+	rd, err := p.Store.Run(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := rd.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) < 2 {
+		t.Fatalf("retention kept %d checkpoints, need at least 2 to test fallback", len(metas))
+	}
+
+	// Simulate a kill plus a mangled latest checkpoint.
+	if err := os.Remove(filepath.Join(rd.Dir(), "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	newest := fmt.Sprintf("ckpt-%08d.bin", metas[0].Epoch)
+	if err := os.WriteFile(filepath.Join(rd.Dir(), newest), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pr := persistProfile(t, dir, true)
+	pr.CkptKeep = 2
+	resumed := RunCell(pr, ps.ASGD, 4, core.BNAsync, 1)
+	assertSameResult(t, "fallback-resume", orig, resumed)
+}
+
+// TestRenderMode: render-mode cells return the persisted result without
+// recomputing (proven by a sentinel no run could produce), and a cell whose
+// result was never persisted panics with *RenderMissingError naming it.
+func TestRenderMode(t *testing.T) {
+	dir := t.TempDir()
+	p := persistProfile(t, dir, false)
+	RunCell(p, ps.ASGD, 4, core.BNAsync, 1)
+
+	key := ps.ConfigKey(cellConfig(p, ps.ASGD, 4, core.BNAsync, 1))
+	rd, err := p.Store.Run(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc ps.Result
+	if err := rd.LoadResult(&doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.FinalTestErr = 0.987654321
+	if err := rd.SaveResult(doc); err != nil {
+		t.Fatal(err)
+	}
+
+	render := persistProfile(t, dir, false)
+	render.Render = true
+	got := RunCell(render, ps.ASGD, 4, core.BNAsync, 1)
+	if got.FinalTestErr != 0.987654321 {
+		t.Fatalf("render recomputed the cell (got %v, want sentinel)", got.FinalTestErr)
+	}
+
+	// A missing cell must not silently recompute.
+	func() {
+		defer func() {
+			rec := recover()
+			miss, ok := rec.(*RenderMissingError)
+			if !ok {
+				t.Fatalf("recovered %v (%T), want *RenderMissingError", rec, rec)
+			}
+			if miss.Cfg.Seed != 77 || !strings.Contains(miss.Error(), "-ckpt-dir") {
+				t.Fatalf("unhelpful render error: %v", miss)
+			}
+		}()
+		RunCell(render, ps.ASGD, 4, core.BNAsync, 77)
+		t.Fatal("render of a never-run cell returned instead of panicking")
+	}()
 }
 
 // TestPersistedCellsAreContentAddressed: different configurations land in
@@ -139,8 +238,8 @@ func TestRobustnessSeedAveraging(t *testing.T) {
 		}},
 	}
 	rows := Robustness(p, 4, 1, scns, RobustnessOpts{Seeds: 2, RecoverOpt: true})
-	if len(rows) != 2*len(RobustnessAlgos) {
-		t.Fatalf("rows %d, want %d (base + recover-opt per algorithm)", len(rows), 2*len(RobustnessAlgos))
+	if len(rows) != 2*len(RobustnessEntries) {
+		t.Fatalf("rows %d, want %d (base + recover-opt per entry)", len(rows), 2*len(RobustnessEntries))
 	}
 	variants := map[string]int{}
 	for _, r := range rows {
@@ -155,7 +254,7 @@ func TestRobustnessSeedAveraging(t *testing.T) {
 			t.Fatalf("row %+v has invalid mean error", r)
 		}
 	}
-	if variants[""] != len(RobustnessAlgos) || variants["recover-opt"] != len(RobustnessAlgos) {
+	if variants[""] != len(RobustnessEntries) || variants["recover-opt"] != len(RobustnessEntries) {
 		t.Fatalf("variant counts %v", variants)
 	}
 	out := RenderRobustness(p, 4, rows).String()

@@ -46,6 +46,12 @@ type Profile struct {
 	// (cmd/lcexp -scenario).
 	Scenario *scenario.Scenario
 
+	// Topology names the communication graph decentralized cells (AD-PSGD)
+	// gossip on — a topology.Parse spec; empty means ring (cmd/lcexp
+	// -topology). Parameter-server algorithms ignore it. The robustness
+	// grid overrides it per row to compare topologies.
+	Topology string
+
 	// Jobs is how many experiment cells a sweep (Fig2/Fig3Panel/Fig5Panel/
 	// Table1/Robustness) runs concurrently; values <= 1 mean the classic
 	// sequential loops (cmd/lcexp -jobs). Results are assembled in
@@ -66,6 +72,18 @@ type Profile struct {
 	Store     *snapshot.Store
 	CkptEvery int
 	Resume    bool
+
+	// CkptKeep is how many checkpoints each run directory retains (cmd/lcexp
+	// -ckpt-keep); values below 1 mean 1, today's latest-only behavior.
+	// Keeping more lets resume fall back past a corrupted latest checkpoint.
+	CkptKeep int
+
+	// Render makes every cell load its persisted result from the Store
+	// instead of computing anything (cmd/lcexp -render): figures and tables
+	// re-render from a completed sweep's artifacts. A cell whose result is
+	// missing panics with *RenderMissingError rather than silently
+	// recomputing.
+	Render bool
 }
 
 // QuickCIFAR is the CPU-budget CIFAR-10-like cell used by tests and benches.
@@ -147,6 +165,7 @@ func cellConfig(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed u
 		StepPredHidden:  p.StepPredHidden,
 		Backend:         p.Backend,
 		Scenario:        p.Scenario,
+		Topology:        p.Topology,
 		CheckpointEvery: p.CkptEvery,
 	}
 }
@@ -171,6 +190,9 @@ func RunCellCfg(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed u
 	env := ps.Env{Train: train, Test: test, Build: p.Model.Build, Cfg: cfg}
 	if p.Store != nil {
 		return runCellPersisted(p, env)
+	}
+	if p.Render {
+		panic("trainer: Render mode requires a Store (-render needs -ckpt-dir)")
 	}
 	return ps.Run(env)
 }

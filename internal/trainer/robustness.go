@@ -9,10 +9,23 @@ import (
 	"lcasgd/internal/scenario"
 )
 
-// RobustnessAlgos are the distributed algorithms compared across cluster
+// RobustnessEntry is one algorithm column of the robustness grid. Topology
+// is empty for the parameter-server algorithms; decentralized algorithms
+// appear once per compared communication graph.
+type RobustnessEntry struct {
+	Algo     ps.Algo
+	Topology string
+}
+
+// RobustnessEntries are the distributed algorithms compared across cluster
 // scenarios: the paper's four plus the staleness-aware sixth, ordered from
-// fully synchronous to fully prediction-compensated.
-var RobustnessAlgos = []ps.Algo{ps.SSGD, ps.ASGD, ps.SAASGD, ps.DCASGD, ps.LCASGD}
+// fully synchronous to fully prediction-compensated, followed by
+// decentralized AD-PSGD on the sparsest (ring) and a seeded random-gossip
+// graph — the sync-vs-async-vs-decentralized robustness comparison.
+var RobustnessEntries = []RobustnessEntry{
+	{Algo: ps.SSGD}, {Algo: ps.ASGD}, {Algo: ps.SAASGD}, {Algo: ps.DCASGD}, {Algo: ps.LCASGD},
+	{Algo: ps.ADPSGD, Topology: "ring"}, {Algo: ps.ADPSGD, Topology: "gossip"},
+}
 
 // RobustnessOpts parameterizes the robustness sweep beyond the grid axes.
 type RobustnessOpts struct {
@@ -38,6 +51,9 @@ type RobustnessOpts struct {
 type RobustnessRow struct {
 	Scenario string
 	Algo     ps.Algo
+	// Topology is the communication graph of a decentralized row, "" for
+	// parameter-server algorithms.
+	Topology string
 	// Variant is "" for the standard recovery semantics and "recover-opt"
 	// for checkpoint-restore recovery.
 	Variant string
@@ -52,12 +68,13 @@ type RobustnessRow struct {
 	Events        int     // max over seeds: scenario events that applied
 }
 
-// Robustness runs every RobustnessAlgos algorithm under every scenario at
+// Robustness runs every RobustnessEntries algorithm under every scenario at
 // the given worker count — the experiment behind the robustness table in
 // DESIGN.md. The stationary paper cluster is row zero when scns includes
 // scenario.None(), so degradation reads directly against it. The scenario
-// overrides any Profile.Scenario for these runs; with a profile Store every
-// underlying cell persists, so an interrupted sweep resumes per cell.
+// and the per-entry topology override any Profile.Scenario/Topology for
+// these runs; with a profile Store every underlying cell persists, so an
+// interrupted sweep resumes per cell.
 func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario, opts RobustnessOpts) []RobustnessRow {
 	if opts.Seeds < 1 {
 		opts.Seeds = 1
@@ -97,18 +114,21 @@ func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario, o
 		if opts.RecoverOpt && hasRecovery(scn) {
 			variants = append(variants, recOpt)
 		}
-		for _, algo := range RobustnessAlgos {
+		for _, entry := range RobustnessEntries {
 			for _, v := range variants {
 				cell := gridCell{
-					row:   RobustnessRow{Scenario: scn.Name, Algo: algo, Variant: v.name, Seeds: opts.Seeds},
+					row: RobustnessRow{Scenario: scn.Name, Algo: entry.Algo,
+						Topology: entry.Topology, Variant: v.name, Seeds: opts.Seeds},
 					seeds: make([]*cellFuture, opts.Seeds),
 				}
 				for s := 0; s < opts.Seeds; s++ {
 					mut := v.mut
+					topo := entry.Topology
 					cellSeed := seed + uint64(s)
 					cell.seeds[s] = pool.submit(func() ps.Result {
-						return RunCellCfg(p, algo, workers, core.BNAsync, cellSeed, func(c *ps.Config) {
+						return RunCellCfg(p, entry.Algo, workers, core.BNAsync, cellSeed, func(c *ps.Config) {
 							c.Scenario = scn
+							c.Topology = topo
 							if mut != nil {
 								mut(c)
 							}
@@ -178,9 +198,13 @@ func RenderRobustness(p Profile, workers int, rows []RobustnessRow) *report.Tabl
 	tb := report.NewTable(
 		fmt.Sprintf("Robustness (%s, M=%d, seeds=%d): final test error and staleness per scenario",
 			p.Name, workers, seeds),
-		"scenario", "algorithm", "variant", "test err%", "±spread", "mean stale", "max stale",
+		"scenario", "algorithm", "topology", "variant", "test err%", "±spread", "mean stale", "max stale",
 		"updates", "vsec", "events")
 	for _, r := range rows {
+		topo := r.Topology
+		if topo == "" {
+			topo = "-"
+		}
 		variant := r.Variant
 		if variant == "" {
 			variant = "-"
@@ -189,7 +213,7 @@ func RenderRobustness(p Profile, workers int, rows []RobustnessRow) *report.Tabl
 		if r.Seeds > 1 {
 			spread = fmt.Sprintf("%.2f", r.ErrSpread*100)
 		}
-		tb.AddRow(r.Scenario, string(r.Algo), variant,
+		tb.AddRow(r.Scenario, string(r.Algo), topo, variant,
 			report.Pct(r.FinalTestErr),
 			spread,
 			fmt.Sprintf("%.2f", r.MeanStaleness),

@@ -193,10 +193,11 @@ func TestRobustnessGrid(t *testing.T) {
 		}},
 	}
 	rows := Robustness(p, 4, 1, scns, RobustnessOpts{})
-	if len(rows) != len(scns)*len(RobustnessAlgos) {
-		t.Fatalf("robustness rows %d, want %d", len(rows), len(scns)*len(RobustnessAlgos))
+	if len(rows) != len(scns)*len(RobustnessEntries) {
+		t.Fatalf("robustness rows %d, want %d", len(rows), len(scns)*len(RobustnessEntries))
 	}
 	sawSA, sawChurnEvents := false, false
+	adTopos := map[string]bool{}
 	for _, r := range rows {
 		if r.FinalTestErr < 0 || r.FinalTestErr > 1 {
 			t.Fatalf("row %+v has invalid error", r)
@@ -210,6 +211,14 @@ func TestRobustnessGrid(t *testing.T) {
 		if r.Algo == ps.SAASGD {
 			sawSA = true
 		}
+		if r.Algo == ps.ADPSGD {
+			adTopos[r.Topology] = true
+			if r.MeanStaleness <= 0 {
+				t.Fatalf("AD-PSGD row %+v has no decentralized staleness", r)
+			}
+		} else if r.Topology != "" {
+			t.Fatalf("PS row %+v carries a topology", r)
+		}
 		if r.Scenario == "churn" && r.Events > 0 {
 			sawChurnEvents = true
 		}
@@ -217,11 +226,14 @@ func TestRobustnessGrid(t *testing.T) {
 	if !sawSA {
 		t.Fatal("robustness grid omits SA-ASGD")
 	}
+	if !adTopos["ring"] || !adTopos["gossip"] {
+		t.Fatalf("robustness grid AD-PSGD topologies %v, want ring and gossip", adTopos)
+	}
 	if !sawChurnEvents {
 		t.Fatal("churn scenario never applied an event")
 	}
 	out := RenderRobustness(p, 4, rows).String()
-	for _, want := range []string{"SA-ASGD", "churn", "max stale"} {
+	for _, want := range []string{"SA-ASGD", "AD-PSGD", "ring", "gossip", "churn", "max stale", "topology"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("robustness table missing %q:\n%s", want, out)
 		}
