@@ -57,6 +57,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"lcasgd/internal/ps"
 	"lcasgd/internal/scenario"
@@ -85,6 +86,7 @@ func main() {
 			fmt.Sprintf("cluster-event timeline for every run: %s", strings.Join(scenario.Names(), ", ")))
 		topo = flag.String("topology", "",
 			fmt.Sprintf("gossip graph for decentralized (AD-PSGD) cells: %s (empty = ring)", strings.Join(topology.Names(), ", ")))
+		verbose    = flag.Bool("v", false, "report sweep progress to stderr (cells done/total, elapsed)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		ckptDir    = flag.String("ckpt-dir", "", "experiment store directory: every run persists its config, checkpoints and result there")
@@ -109,6 +111,32 @@ func main() {
 	if err := topology.ValidateSpec(*topo); err != nil {
 		fmt.Fprintf(os.Stderr, "lcexp: %v\n", err)
 		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "lcexp: -workers must be non-negative (0 = the full 4,8,16 grid)")
+		os.Exit(2)
+	}
+	// An explicit edge-list topology names concrete ranks, so every fleet it
+	// is applied to must span them: a smaller fleet would silently drop the
+	// out-of-range edges (and can leave decentralized cells gossiping on a
+	// disconnected remnant), surfacing only as a confusing mid-sweep result.
+	// Reject the pairing here, against every fleet size this invocation will
+	// run, instead.
+	if span, _ := topology.SpecMinWorkers(*topo); span > 0 {
+		smallest := *workers
+		if smallest == 0 {
+			for _, m := range trainer.WorkerCounts {
+				if smallest == 0 || m < smallest {
+					smallest = m
+				}
+			}
+		}
+		if smallest < span {
+			fmt.Fprintf(os.Stderr,
+				"lcexp: -topology %q names ranks up to %d, but the sweep runs fleets of %d workers; pass -workers %d or larger\n",
+				*topo, span-1, smallest, span)
+			os.Exit(2)
+		}
 	}
 	if *render {
 		// Render cells never compute, so cell-level parallelism buys nothing —
@@ -204,6 +232,16 @@ func main() {
 	}
 	cifar.Topology = *topo
 	imagenet.Topology = *topo
+	if *verbose {
+		// Progress goes to stderr so stdout artifacts (tables, charts, CSV)
+		// stay byte-identical with and without -v.
+		progress := func(done, total int, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "lcexp: cells %d/%d, elapsed %s\n",
+				done, total, elapsed.Round(100*time.Millisecond))
+		}
+		cifar.Progress = progress
+		imagenet.Progress = progress
+	}
 	if store != nil {
 		for _, p := range []*trainer.Profile{&cifar, &imagenet} {
 			p.Store = store

@@ -103,3 +103,48 @@ func TestEvalZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state evaluation allocates %v times per train+test pass, want <= 4", a)
 	}
 }
+
+// TestCommitZeroAllocSteadyState pins the server-side commit paths to zero
+// heap allocations once warm: the PS path (staleness accounting, server
+// update, curve-record check, relaunch gate) and the decentralized gossip
+// path (uniform partner draw, pairwise average with consensus-sum deltas,
+// local step, lazy-refresh gate). The budget is zeroed so Commit's relaunch
+// parks instead of arming the next iteration — the per-iteration dispatch
+// closures are deliberately outside this guard; they amortize against a full
+// forward/backward pass, while the paths pinned here run once per event at
+// any fleet size.
+func TestCommitZeroAllocSteadyState(t *testing.T) {
+	newWarmEngine := func(algo Algo, workers int) *Engine {
+		env := tinyEnvSeeded(algo, workers, 2)
+		env.Cfg = env.Cfg.withDefaults()
+		e := newEngine(env, strategyFor(env.Cfg))
+		t.Cleanup(func() { e.backend.Close() })
+		e.strategy.Setup(e)
+		e.srv.target = 0
+		return e
+	}
+	t.Run("ps", func(t *testing.T) {
+		e := newWarmEngine(ASGD, 2)
+		grad := make([]float64, e.NParams())
+		for i := range grad {
+			grad[i] = 1e-3
+		}
+		commit := func() { e.Commit(0, grad, 0) }
+		commit() // warm: first commit records the epoch-0 curve point
+		if a := testing.AllocsPerRun(20, commit); a != 0 {
+			t.Fatalf("steady-state PS commit allocates %v times, want 0", a)
+		}
+	})
+	t.Run("gossip", func(t *testing.T) {
+		e := newWarmEngine(ADPSGD, 4)
+		grad := make([]float64, e.NParams())
+		for i := range grad {
+			grad[i] = 1e-3
+		}
+		commit := func() { e.GossipCommit(1, grad, 0) }
+		commit()
+		if a := testing.AllocsPerRun(20, commit); a != 0 {
+			t.Fatalf("steady-state gossip commit allocates %v times, want 0", a)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"fmt"
 	"testing"
 
 	"lcasgd/internal/cluster"
@@ -9,6 +10,7 @@ import (
 	"lcasgd/internal/model"
 	"lcasgd/internal/nn"
 	"lcasgd/internal/rng"
+	"lcasgd/internal/scenario"
 )
 
 // benchEnv is a heftier environment than the unit-test one so that per-batch
@@ -122,5 +124,85 @@ func BenchmarkWorkerIteration(b *testing.B) {
 				bnAcc.Update(rep.stats())
 			}
 		})
+	}
+}
+
+// fleetScaleEnv shrinks the ML workload to near-nothing (4 samples, a
+// 4→16→16→4 MLP) so BenchmarkFleetScale measures the engine, not the network:
+// scheduling, fleet bookkeeping, gossip partner draws, consensus refreshes
+// and curve recording. Each worker gets the same per-worker iteration budget
+// at every M (epochs scale with the fleet), so ns/event is comparable across
+// fleet sizes — any per-event cost that grows with M shows up directly. The
+// cost model stretches virtual iterations to ~1s so the canned flaky
+// timeline (first crash at t=900ms, period 3s) genuinely churns the fleet
+// within the run's span instead of expiring after it.
+func fleetScaleEnv(algo Algo, workers int, scn *scenario.Scenario) Env {
+	d := data.Config{
+		Classes: 4, C: 1, H: 2, W: 2,
+		Train: 4, Test: 4,
+		NoiseSigma: 0.8, SignalScale: 0.5, Smoothing: 1, Seed: 99,
+	}
+	train, test := data.Generate(d)
+	const itersPerWorker = 2
+	const batchesPerEpoch = 1 // Train/BatchSize
+	return Env{
+		Train: train,
+		Test:  test,
+		// The hidden width keeps nParams large relative to the 4-sample
+		// forward passes, so per-parameter engine work (consensus upkeep)
+		// is visible over the network compute. EvalBatch matches the
+		// dataset: the default (150) would pad every inference batch
+		// ~40x past the data and drown the engine in dead matmul rows.
+		Build: func(g *rng.RNG) *nn.Sequential { return model.MLP("fleet", 4, 16, 4, g) },
+		Cfg: Config{
+			Algo: algo, Workers: workers, BatchSize: 4, EvalBatch: 4,
+			Epochs: workers * itersPerWorker / batchesPerEpoch,
+			LR:     0.05, Lambda: 1, DCLambda: 0.3,
+			BNMode: core.BNAsync, Seed: 7,
+			Cost: cluster.CostModel{
+				MeanComp: 900, MeanComm: 50, Sigma: 0.2,
+				Heterogeneity: 0.3, StragglerProb: 0.02, StragglerFactor: 3,
+			},
+			LossPredHidden: 8, StepPredHidden: 8,
+			Backend:  BackendSequential,
+			Scenario: scn,
+		},
+	}
+}
+
+// BenchmarkFleetScale drives whole runs at M ∈ {16, 256, 1024, 4096} for one
+// parameter-server algorithm (ASGD) and one decentralized one (AD-PSGD),
+// with and without churn, reporting ns and allocs per simulator event. The
+// scaling contract under test: per-event cost stays flat as M grows (heap
+// ops are O(log M); everything else on the per-event path is O(1) in the
+// fleet size), so ns/event at M=4096 should sit within ~2x of M=256.
+func BenchmarkFleetScale(b *testing.B) {
+	flaky := scenario.Flaky()
+	scns := []struct {
+		name string
+		scn  *scenario.Scenario
+	}{{"none", nil}, {"flaky", &flaky}}
+	for _, algo := range []Algo{ASGD, ADPSGD} {
+		for _, m := range []int{16, 256, 1024, 4096} {
+			for _, sc := range scns {
+				b.Run(fmt.Sprintf("%s/M%d/%s", algo, m, sc.name), func(b *testing.B) {
+					env := fleetScaleEnv(algo, m, sc.scn)
+					env.Cfg = env.Cfg.withDefaults()
+					b.ReportAllocs()
+					b.ResetTimer()
+					var events uint64
+					for i := 0; i < b.N; i++ {
+						e := newEngine(env, strategyFor(env.Cfg))
+						e.run()
+						events += e.clock.Processed()
+					}
+					b.StopTimer()
+					if events > 0 {
+						b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+						b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+					}
+				})
+			}
+		}
 	}
 }

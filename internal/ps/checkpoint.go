@@ -115,10 +115,12 @@ func (e *Engine) takeCheckpoint() {
 			e.waits[m] = nil
 		}
 	}
-	// Decentralized runs refresh the consensus cache at the barrier so the
-	// RecoverOpt snapshot and the serialized srv.w both hold the mean of
-	// the workers' models as of this quiescent point.
-	e.refreshConsensus()
+	// Decentralized runs re-anchor the consensus at the barrier — an exact
+	// refold, not the incremental sum — so the RecoverOpt snapshot and the
+	// serialized srv.w both hold the exact mean of the workers' models as
+	// of this quiescent point, and the resumed run (which refolds on
+	// restore) continues from bit-identical state.
+	e.anchorConsensus()
 	if e.cfg.RecoverOpt {
 		e.ckptW = append(e.ckptW[:0], e.srv.w...)
 		e.ckptBN = e.srv.bnAcc.Clone()
@@ -226,12 +228,15 @@ func (e *Engine) snapshotBytes() []byte {
 		w.F64(p.TestErr)
 	}
 
-	// Armed scenario events, in arm order (ascending id). Re-arming them in
-	// this order on resume reproduces the clock's FIFO tie-breaking: at the
-	// barrier every armed event was scheduled before any deferred relaunch
-	// will be.
-	w.Int(len(e.armed))
+	// Armed scenario events, in arm order (ascending id), skipping fired
+	// tombstones. Re-arming them in this order on resume reproduces the
+	// clock's FIFO tie-breaking: at the barrier every armed event was
+	// scheduled before any deferred relaunch will be.
+	w.Int(len(e.armed) - e.armedDead)
 	for _, a := range e.armed {
+		if a.dead {
+			continue
+		}
 		writeScnEvent(w, a.ev)
 	}
 
@@ -370,9 +375,13 @@ func (e *Engine) restore(data []byte) error {
 	}
 
 	// Everything decoded and verified; now mutate the live engine pieces
-	// that need ordering: clock first, then re-arm the scenario timeline in
-	// recorded order, then record the deferred launches for relaunchDeferred.
+	// that need ordering: clock first, then the stall-guard counters from
+	// the restored flags, then re-arm the scenario timeline in recorded
+	// order (which adjusts those counters incrementally), then record the
+	// deferred launches for relaunchDeferred.
 	e.clock.RestoreNow(now)
+	e.rebuildFleetCounters()
+	e.refoldConsensusSum()
 	for _, ev := range armed {
 		if ev.At < now {
 			return fmt.Errorf("checkpoint armed event at t=%v before barrier t=%v", ev.At, now)

@@ -58,6 +58,20 @@ type decState struct {
 	sel   *topology.Selector
 	w     [][]float64 // per-worker persistent weights, indexed by rank
 	iter  []int       // per-worker commit counters (the decentralized clock)
+
+	// csum is the running sum of the active workers' local models,
+	// maintained incrementally: every mutation of an active worker's w —
+	// gossip average, local gradient step, RecoverOpt restore, retirement,
+	// re-admission — folds its exact stored-value delta into csum at the
+	// point of mutation, on the event loop, in virtual-clock order. That
+	// makes refreshConsensus O(nParams) instead of O(M·nParams) while
+	// staying deterministic (identical across backends and around a
+	// checkpoint/resume). At every quiescent anchor — enable, checkpoint
+	// barrier, restore, end of run — csum is refolded from scratch in
+	// ascending rank order (anchorConsensus), so accumulated deltas never
+	// drift across a barrier and the serialized consensus is the exact
+	// linear fold it always was.
+	csum []float64
 }
 
 // EnableDecentralized switches the engine into decentralized mode on the
@@ -79,11 +93,13 @@ func (e *Engine) EnableDecentralized(g *topology.Graph) {
 		sel:   topology.NewSelector(g, e.Rng(topoNeighborLabel)),
 		w:     make([][]float64, len(e.reps)),
 		iter:  make([]int, len(e.reps)),
+		csum:  make([]float64, len(e.srv.w)),
 	}
 	for m := range d.w {
 		d.w[m] = append([]float64(nil), e.srv.w...)
 	}
 	e.dec = d
+	e.refoldConsensusSum()
 }
 
 // Topology returns the communication graph of a decentralized run, or nil
@@ -114,7 +130,13 @@ func (e *Engine) PullLocal(m int) {
 	if e.recoverPend[m] {
 		e.recoverPend[m] = false
 		if e.ckptW != nil {
-			copy(d.w[m], e.ckptW)
+			// The restore overwrites an active worker's model, so its
+			// exact delta folds into the running consensus sum.
+			wm, csum := d.w[m], d.csum
+			for i, v := range e.ckptW {
+				csum[i] += v - wm[i]
+				wm[i] = v
+			}
 			e.reps[m].pull(d.w[m], e.ckptBN)
 			return
 		}
@@ -131,9 +153,19 @@ func (e *Engine) PullLocal(m int) {
 // the stream position is a pure function of commit order.
 func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 	d := e.dec
-	partner := d.sel.Pick(m, func(j int) bool {
-		return e.fleet.active[j] && !e.fleet.cut[j] && !e.fleet.cut[m]
-	})
+	var partner int
+	if e.fleet.activeN == len(e.reps) && e.fleet.cutN == 0 {
+		// No-churn fast path: with every worker active and uncut the
+		// reachability filter passes every neighbor, so the draw indexes
+		// the neighbor list directly — the same partner the filtered walk
+		// returns, without its O(degree) scans (O(M) on dense graphs) or
+		// the filter closure's allocation.
+		partner = d.sel.PickUniform(m)
+	} else {
+		partner = d.sel.Pick(m, func(j int) bool {
+			return e.fleet.active[j] && !e.fleet.cut[j] && !e.fleet.cut[m]
+		})
+	}
 	if partner >= 0 {
 		// Decentralized staleness: how many commits ahead the averaged
 		// neighbor is. No sample when the worker steps alone — there is no
@@ -147,23 +179,33 @@ func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 			e.maxStale = lag
 		}
 		e.stalenessN++
-		wm, wp := d.w[m], d.w[partner]
+		// Both models are active, so the averaging's exact stored-value
+		// deltas (zero in exact arithmetic, last-ulp in floats) fold into
+		// the running consensus sum alongside the overwrite.
+		wm, wp, csum := d.w[m], d.w[partner], d.csum
 		for i := range wm {
 			avg := 0.5 * (wm[i] + wp[i])
+			csum[i] += (avg - wm[i]) + (avg - wp[i])
 			wm[i], wp[i] = avg, avg
 		}
 	}
 	// Local step x_m ← x_m − γ·(g + wd·x_m), mirroring server.apply: the
 	// learning rate is read before the consumed batches advance the epoch.
+	// The new value is computed with the exact arithmetic the in-place
+	// update used, and its delta maintains csum.
 	lr := e.srv.lr()
-	wm := d.w[m]
+	wm, csum := d.w[m], d.csum
 	if wd := e.srv.wd; wd != 0 {
 		for i, g := range grad {
-			wm[i] -= lr * (g + wd*wm[i])
+			nv := wm[i] - lr*(g+wd*wm[i])
+			csum[i] += nv - wm[i]
+			wm[i] = nv
 		}
 	} else {
 		for i, g := range grad {
-			wm[i] -= lr * g
+			nv := wm[i] - lr*g
+			csum[i] += nv - wm[i]
+			wm[i] = nv
 		}
 	}
 	d.iter[m]++
@@ -179,40 +221,66 @@ func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 	e.launch(m)
 }
 
-// refreshConsensus recomputes the consensus cache srv.w as the mean of the
-// active workers' local models, folding in ascending rank order so the
-// float result is deterministic. It runs lazily — before a curve point is
-// recorded, at checkpoint barriers, and once at the end of the run — never
-// per commit, so decentralized runs do not pay an O(M·nParams) tax per
-// iteration. With zero active workers (a scenario that empties the fleet)
-// the previous consensus is kept. No-op for parameter-server runs.
+// refreshConsensus refreshes the consensus cache srv.w as the mean of the
+// active workers' local models, dividing the incrementally maintained
+// running sum (decState.csum) by the active count — O(nParams), where the
+// from-scratch fold it replaced was O(M·nParams) per curve point, eval and
+// checkpoint. It runs lazily — before a curve point is recorded, at
+// checkpoint barriers, and once at the end of the run — never per commit.
+// With zero active workers (a scenario that empties the fleet) the
+// previous consensus is kept. No-op for parameter-server runs.
+//
+// Determinism: csum mutates only on the event loop in virtual-clock order,
+// so the refreshed value is identical across backends and around a
+// checkpoint/resume. At quiescent anchors csum is refolded exactly
+// (anchorConsensus), so serialized consensus snapshots and final results
+// are the same linear ascending-rank fold the from-scratch version
+// computed.
 func (e *Engine) refreshConsensus() {
 	if e.dec == nil {
 		return
 	}
-	n := 0
-	for m := range e.dec.w {
-		if e.fleet.active[m] {
-			n++
-		}
-	}
+	n := e.fleet.activeN
 	if n == 0 {
 		return
 	}
 	w := e.srv.w
-	for i := range w {
-		w[i] = 0
+	inv := 1 / float64(n)
+	for i, s := range e.dec.csum {
+		w[i] = s * inv
+	}
+}
+
+// refoldConsensusSum recomputes csum from scratch: the active workers'
+// models folded in ascending rank order, the deterministic fold the lazy
+// consensus always used. O(M·nParams) — called only at quiescent anchors
+// (EnableDecentralized, checkpoint barriers, restore, end of run), never
+// on the per-event path, it discards any rounding drift the incremental
+// deltas accumulated since the last anchor.
+func (e *Engine) refoldConsensusSum() {
+	if e.dec == nil {
+		return
+	}
+	csum := e.dec.csum
+	for i := range csum {
+		csum[i] = 0
 	}
 	for m := range e.dec.w {
 		if !e.fleet.active[m] {
 			continue
 		}
 		for i, v := range e.dec.w[m] {
-			w[i] += v
+			csum[i] += v
 		}
 	}
-	inv := 1 / float64(n)
-	for i := range w {
-		w[i] *= inv
-	}
+}
+
+// anchorConsensus re-anchors the running sum with an exact refold and
+// refreshes the consensus cache from it. Checkpoint barriers and the end
+// of the run use it so the consensus they expose is the exact fold of the
+// workers' models — bit-identical on the straight-through and resumed
+// sides of a barrier, which both anchor at the same quiescent point.
+func (e *Engine) anchorConsensus() {
+	e.refoldConsensusSum()
+	e.refreshConsensus()
 }

@@ -40,11 +40,21 @@ type Engine struct {
 	maxStale     int
 
 	// Scenario bookkeeping (fleet.go): the armed (scheduled, unfired)
-	// timeline events as data, the arm-order counter, and how many events
-	// have been applied.
+	// timeline events as data, the arm-order counter, the tombstone count
+	// pending compaction, and how many events have been applied.
 	armed      []armedScn
 	armSeq     uint64
+	armedDead  int
 	scnApplied int
+
+	// Stall-guard counters (fleet.go), maintained at the O(1) arm/disarm
+	// and fleet transitions so fleetStalled and the launch park check never
+	// scan the fleet or the armed list: per-worker armed-Heal counts, the
+	// number of armed revive-capable events (Recover/Join/Heal), and the
+	// number of active workers blocked behind heal-less partitions.
+	healArmedN   []int
+	reviveArmedN int
+	blockedN     int
 
 	// inflight counts scheduled-but-unfired worker events (After and
 	// AfterWorker). Zero means every worker pipeline has drained — the
@@ -118,6 +128,7 @@ func newEngine(env Env, st Strategy) *Engine {
 		loss:        make([]float64, M),
 		waits:       make([]func(), M),
 		snapUpdates: make([]int, M),
+		healArmedN:  make([]int, M),
 		nextCkpt:    cfg.CheckpointEvery,
 		deferredSet: make([]bool, M),
 		recoverPend: make([]bool, M),
@@ -150,7 +161,7 @@ func (e *Engine) loop() Result {
 			e.takeCheckpoint()
 		}
 	}
-	e.refreshConsensus()
+	e.anchorConsensus()
 	points := e.rec.finish(e.srv, e.clock.Now())
 	res := Result{
 		Algo:           e.strategy.Algo(),

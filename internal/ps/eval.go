@@ -1,6 +1,8 @@
 package ps
 
 import (
+	"runtime"
+
 	"lcasgd/internal/core"
 	"lcasgd/internal/data"
 	"lcasgd/internal/nn"
@@ -61,6 +63,17 @@ func (e *evaluator) pool(n int) []*evalNet {
 func (e *evaluator) errOn(ds *data.Dataset, w []float64, bnAcc *core.BNAccumulator) float64 {
 	nBatches := (ds.Len() + e.batchSize - 1) / e.batchSize
 	shards := e.backend.Parallelism()
+	// The concurrent backend reports one lane per worker, but shards beyond
+	// the core count add no throughput while each one costs a pooled net
+	// (nParams of weights, built once) and an O(nParams) refresh per
+	// evaluation — at M in the thousands that made every curve point
+	// O(M·nParams). Capping at GOMAXPROCS bounds both. Shard counts are
+	// result-neutral: each shard contributes an integer correct-count and
+	// integer sums are order-independent, so both backends report
+	// bit-identical error rates at any cap.
+	if max := runtime.GOMAXPROCS(0); shards > max {
+		shards = max
+	}
 	if shards > nBatches {
 		shards = nBatches
 	}

@@ -37,6 +37,14 @@ type fleet struct {
 	gen    []uint64
 	cut    []bool
 	parked []bool
+
+	// activeN and cutN count the true entries of active and cut.
+	// Maintained at the O(1) membership/partition transitions
+	// (retire/admit/Partition/Heal/restore) so stall detection and the
+	// gossip fast path never scan the fleet — at M in the thousands an
+	// O(M) walk per event is what these counters exist to avoid.
+	activeN int
+	cutN    int
 }
 
 func newFleet(workers int, scn *scenario.Scenario) *fleet {
@@ -53,6 +61,7 @@ func newFleet(workers int, scn *scenario.Scenario) *fleet {
 	for m := 0; m < initial; m++ {
 		f.active[m] = true
 	}
+	f.activeN = initial
 	return f
 }
 
@@ -85,15 +94,35 @@ func (e *Engine) Staleness(m int) int { return e.srv.updates - e.snapUpdates[m] 
 // (SSGD's barrier average) must consult it at fold time.
 func (e *Engine) Partitioned(m int) bool { return e.fleet.cut[m] }
 
+// psBlocked reports whether worker m counts toward blockedN: an active
+// worker computing behind a partition with no Heal armed cannot contribute
+// progress in parameter-server mode. The predicate is evaluated at each
+// flag transition to keep the counter exact.
+func (e *Engine) psBlocked(m int) bool {
+	return e.fleet.active[m] && e.fleet.cut[m] && e.healArmedN[m] == 0
+}
+
 // retire removes worker m from the fleet: its generation advances (dropping
 // every pending AfterWorker event) and barrier-style strategies are told so
 // they stop waiting for it. A parked or recover-pending flag is cleared —
-// retirement supersedes both.
+// retirement supersedes both. Must only be called on an active worker.
 func (e *Engine) retire(m int) {
+	if e.psBlocked(m) {
+		e.blockedN--
+	}
 	e.fleet.gen[m]++
 	e.fleet.active[m] = false
+	e.fleet.activeN--
 	e.fleet.parked[m] = false
 	e.recoverPend[m] = false
+	if e.dec != nil {
+		// The worker's local model freezes and leaves the consensus: its
+		// exact stored values come off the running sum (see decentral.go).
+		csum := e.dec.csum
+		for i, v := range e.dec.w[m] {
+			csum[i] -= v
+		}
+	}
 	if fw, ok := e.strategy.(FleetWatcher); ok {
 		fw.WorkerRetired(e, m)
 	}
@@ -102,9 +131,22 @@ func (e *Engine) retire(m int) {
 // admit (re-)adds worker m to the fleet and starts its first iteration. The
 // worker's next Pull re-snapshots the server, so a recovered worker resumes
 // from current state, not from where it crashed (unless Config.RecoverOpt
-// marked it to restart from the last checkpoint instead — see Pull).
+// marked it to restart from the last checkpoint instead — see Pull). Must
+// only be called on an inactive worker.
 func (e *Engine) admit(m int) {
 	e.fleet.active[m] = true
+	e.fleet.activeN++
+	if e.psBlocked(m) {
+		e.blockedN++
+	}
+	if e.dec != nil {
+		// The worker re-enters the consensus with the local model it froze
+		// at retirement (or its initial model, for a first Join).
+		csum := e.dec.csum
+		for i, v := range e.dec.w[m] {
+			csum[i] += v
+		}
+	}
 	e.launch(m)
 }
 
@@ -114,9 +156,17 @@ func (e *Engine) admit(m int) {
 // the fleet, and a checkpoint must serialize exactly the pending timeline —
 // closures cannot cross a process boundary, but (event, arm-order) pairs
 // can, and re-arming them in order reproduces the clock's tie-breaking.
+//
+// A fired event is tombstoned (dead=true) rather than spliced out: ids are
+// strictly ascending in the slice, so disarm is a binary search plus a flag
+// write, with compaction amortized over the dead half — O(log n) amortized
+// instead of the O(n) splice a thousand-event timeline would otherwise pay
+// per firing. The stall guard itself never reads this slice: the counters
+// below (healArmedN, reviveArmedN, blockedN) are maintained at arm/disarm.
 type armedScn struct {
-	id uint64
-	ev scenario.Event
+	id   uint64
+	ev   scenario.Event
+	dead bool
 }
 
 // installScenario compiles the configured scenario onto the clock. Events
@@ -136,11 +186,24 @@ func (e *Engine) installScenario() {
 }
 
 // scheduleScenarioEvent arms one occurrence of ev and, for periodic events,
-// re-arms the next occurrence after applying it.
+// re-arms the next occurrence after applying it. Arming maintains the
+// stall-guard counters: a Heal for worker m unblocks m the moment it is
+// armed (the worker will iterate toward the reconnection), so blockedN is
+// adjusted before healArmedN moves 0→1.
 func (e *Engine) scheduleScenarioEvent(ev scenario.Event) {
 	id := e.armSeq
 	e.armSeq++
 	e.armed = append(e.armed, armedScn{id: id, ev: ev})
+	switch ev.Kind {
+	case scenario.Recover, scenario.Join:
+		e.reviveArmedN++
+	case scenario.Heal:
+		e.reviveArmedN++
+		if e.psBlocked(ev.Worker) {
+			e.blockedN--
+		}
+		e.healArmedN[ev.Worker]++
+	}
 	e.clock.ScheduleAt(ev.At, func() {
 		e.disarm(id)
 		e.applyScenarioEvent(ev)
@@ -152,40 +215,58 @@ func (e *Engine) scheduleScenarioEvent(ev scenario.Event) {
 	})
 }
 
-// disarm removes a fired event from the armed set.
+// disarm tombstones a fired event in the armed set and reverses its
+// contribution to the stall-guard counters. Ids are strictly ascending in
+// e.armed (tombstones included), so the event is found by binary search;
+// the slice compacts once more than half of it is dead.
 func (e *Engine) disarm(id uint64) {
-	for i, a := range e.armed {
-		if a.id == id {
-			e.armed = append(e.armed[:i], e.armed[i+1:]...)
-			return
+	lo, hi := 0, len(e.armed)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.armed[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo >= len(e.armed) || e.armed[lo].id != id || e.armed[lo].dead {
+		return
+	}
+	a := &e.armed[lo]
+	a.dead = true
+	e.armedDead++
+	switch a.ev.Kind {
+	case scenario.Recover, scenario.Join:
+		e.reviveArmedN--
+	case scenario.Heal:
+		e.reviveArmedN--
+		w := a.ev.Worker
+		e.healArmedN[w]--
+		if e.psBlocked(w) {
+			e.blockedN++
+		}
+	}
+	if e.armedDead*2 > len(e.armed) {
+		live := e.armed[:0]
+		for _, s := range e.armed {
+			if !s.dead {
+				live = append(live, s)
+			}
+		}
+		e.armed = live
+		e.armedDead = 0
 	}
 }
 
 // reviveArmed reports whether any armed event could restore progress to a
 // fleet that currently has none: a Recover or Join brings a worker back, a
 // Heal reconnects a parked one.
-func (e *Engine) reviveArmed() bool {
-	for _, a := range e.armed {
-		switch a.ev.Kind {
-		case scenario.Recover, scenario.Join, scenario.Heal:
-			return true
-		}
-	}
-	return false
-}
+func (e *Engine) reviveArmed() bool { return e.reviveArmedN > 0 }
 
 // healArmed reports whether a Heal for worker m is still armed. A
 // partitioned worker keeps iterating only while one is — otherwise it
 // parks, since every commit it could ever produce would be dropped.
-func (e *Engine) healArmed(m int) bool {
-	for _, a := range e.armed {
-		if a.ev.Kind == scenario.Heal && a.ev.Worker == m {
-			return true
-		}
-	}
-	return false
-}
+func (e *Engine) healArmed(m int) bool { return e.healArmedN[m] > 0 }
 
 // fleetStalled reports that no worker can make progress — every member is
 // retired or parked behind a heal-less partition — nothing but scenario
@@ -194,15 +275,46 @@ func (e *Engine) healArmed(m int) bool {
 // timeline that permanently disables the fleet would tick forever while
 // training never finishes. The run then truncates deterministically
 // instead of hanging.
+//
+// In decentralized mode a cut worker still progresses (its commits land on
+// its own model), so any active worker counts; in PS mode the workers
+// blocked behind heal-less partitions are subtracted. Pure counter reads —
+// the O(M) fleet walk and O(armed) scans this predicate used to do made
+// every periodic scenario tick quadratic at large M.
 func (e *Engine) fleetStalled() bool {
+	progressing := e.fleet.activeN
+	if e.dec == nil {
+		progressing -= e.blockedN
+	}
+	return progressing == 0 && e.reviveArmedN == 0 && e.inflight == 0
+}
+
+// rebuildFleetCounters recomputes the stall-guard counters from the fleet
+// flags alone. It runs on the resume path, after the per-worker flags are
+// restored and before the timeline re-arms — the armed list is empty at
+// that point, so every healArmedN is zero and a cut active worker counts
+// as blocked; scheduleScenarioEvent then adjusts the counters event by
+// event exactly as the straight-through run did.
+func (e *Engine) rebuildFleetCounters() {
+	for m := range e.healArmedN {
+		e.healArmedN[m] = 0
+	}
+	e.reviveArmedN = 0
+	activeN, blockedN, cutN := 0, 0, 0
 	for m, a := range e.fleet.active {
-		// In decentralized mode a cut worker still progresses (its commits
-		// land on its own model), so any active worker means no stall.
-		if a && (e.dec != nil || !e.fleet.cut[m] || e.healArmed(m)) {
-			return false
+		if e.fleet.cut[m] {
+			cutN++
+		}
+		if a {
+			activeN++
+			if e.fleet.cut[m] {
+				blockedN++
+			}
 		}
 	}
-	return !e.reviveArmed() && e.inflight == 0
+	e.fleet.activeN = activeN
+	e.fleet.cutN = cutN
+	e.blockedN = blockedN
 }
 
 // applyScenarioEvent executes one timeline event at its virtual time.
@@ -240,11 +352,19 @@ func (e *Engine) applyScenarioEvent(ev scenario.Event) {
 			return
 		}
 		e.fleet.cut[ev.Worker] = true
+		e.fleet.cutN++
+		if e.psBlocked(ev.Worker) {
+			e.blockedN++
+		}
 	case scenario.Heal:
 		if !e.fleet.cut[ev.Worker] {
 			return
 		}
+		if e.psBlocked(ev.Worker) {
+			e.blockedN--
+		}
 		e.fleet.cut[ev.Worker] = false
+		e.fleet.cutN--
 		if e.fleet.parked[ev.Worker] {
 			e.fleet.parked[ev.Worker] = false
 			e.launch(ev.Worker)

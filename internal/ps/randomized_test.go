@@ -1,0 +1,104 @@
+package ps
+
+import (
+	"fmt"
+	"testing"
+
+	"lcasgd/internal/scenario"
+)
+
+// This file fuzzes the engine's churn machinery with seeded random timelines
+// (scenario.Randomized): crashes, elastic resizes, partitions and phase
+// shifts at generator-chosen instants, checked against the repo's core
+// invariants — both backends bit-identical, checkpoint→resume equal to the
+// uninterrupted run, and no stalls (the runs below terminating at all is the
+// liveness assertion; a stalled fleet would hang the test binary). The
+// canned equivalence scenarios pin known-tricky orderings; these tests
+// sample orderings nobody thought to write down.
+
+// randomizedEnv is tinyEnvSeeded under a Randomized timeline whose horizon
+// matches the run's virtual span (iterations are ~33 virtual ms under the
+// CIFAR cost model, so span ≈ 33·epochs·batchesPerEpoch/workers).
+func randomizedEnv(algo Algo, workers, epochs int, seed uint64, horizon float64, events int) Env {
+	scn := scenario.Randomized(seed, workers, horizon, events)
+	env := tinyEnvSeeded(algo, workers, epochs)
+	env.Cfg.Scenario = &scn
+	return env
+}
+
+// TestRandomizedTimelineEquivalence: backend bit-identity under random
+// churn, across the PS/decentralized/synchronous strategy families.
+func TestRandomizedTimelineEquivalence(t *testing.T) {
+	for _, algo := range []Algo{ASGD, SSGD, LCASGD, ADPSGD} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			label := fmt.Sprintf("%s/seed%d", algo, seed)
+			assertBackendEquivalent(t, label, func() Env {
+				return randomizedEnv(algo, 8, 3, seed, 120, 12)
+			})
+		}
+	}
+}
+
+// TestRandomizedTimelineResume: a run checkpointed at every barrier and
+// resumed — on both backends — matches the straight-through run bit for bit,
+// under random churn overlapping the barriers.
+func TestRandomizedTimelineResume(t *testing.T) {
+	for _, algo := range []Algo{ASGD, ADPSGD} {
+		for seed := uint64(7); seed <= 9; seed++ {
+			scn := scenario.Randomized(seed, 8, 120, 12)
+			label := fmt.Sprintf("%s/seed%d", algo, seed)
+			full, cks := runCapturing(ckptEnv(algo, 8, 3, BackendSequential, &scn))
+			if len(cks) == 0 {
+				t.Fatalf("%s: no checkpoints emitted", label)
+			}
+			for _, kind := range []BackendKind{BackendSequential, BackendConcurrent} {
+				env := ckptEnv(algo, 8, 3, kind, &scn)
+				res, err := Resume(env, cks[len(cks)-1].Data)
+				if err != nil {
+					t.Fatalf("%s: resume on %s: %v", label, kind, err)
+				}
+				assertResultsEqual(t, label+"/resume-"+string(kind), full, res)
+			}
+		}
+	}
+}
+
+// TestRandomizedTimelineM256 is the mid-scale equivalence case CI runs under
+// the race detector: 256 workers, ~3 iterations each, randomized churn. The
+// budget (epochs·batchesPerEpoch = 96·8) gives each worker a few commits so
+// churn overlaps live iterations rather than landing after the run.
+func TestRandomizedTimelineM256(t *testing.T) {
+	for _, algo := range []Algo{ASGD, ADPSGD} {
+		assertBackendEquivalent(t, fmt.Sprintf("%s/M256", algo), func() Env {
+			env := randomizedEnv(algo, 256, 96, 5, 120, 24)
+			env.Cfg.EvalEvery = 16
+			return env
+		})
+	}
+}
+
+// TestRandomizedTimelineLargeFleet pushes the same property to M=1024 — the
+// scale where any O(M) cost hidden on a per-event path would make this test,
+// and the fleet benches, visibly crawl.
+func TestRandomizedTimelineLargeFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-fleet property test skipped in -short mode")
+	}
+	for _, algo := range []Algo{ASGD, ADPSGD} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			t.Parallel()
+			assertBackendEquivalent(t, fmt.Sprintf("%s/M1024", algo), func() Env {
+				env := randomizedEnv(algo, 1024, 256, 11, 80, 40)
+				env.Cfg.EvalEvery = 64
+				return env
+			})
+			env := randomizedEnv(algo, 1024, 256, 12, 80, 40)
+			env.Cfg.EvalEvery = 64
+			res := Run(env)
+			if res.Updates == 0 {
+				t.Fatalf("%s: randomized M=1024 run made no progress", algo)
+			}
+		})
+	}
+}

@@ -154,9 +154,12 @@ func (s *ssgdStrategy) closeRound(e *Engine) {
 // waiting for it — and close immediately if it was the last one
 // outstanding. A retired mid-round admit just leaves the pending list.
 func (s *ssgdStrategy) WorkerRetired(e *Engine, m int) {
+	// Swap-remove: pending order is irrelevant (closeRound sorts the
+	// restart list before relaunching), so no need to splice.
 	for i, p := range s.pending {
 		if p == m {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.pending[i] = s.pending[len(s.pending)-1]
+			s.pending = s.pending[:len(s.pending)-1]
 			break
 		}
 	}

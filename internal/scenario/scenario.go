@@ -15,6 +15,8 @@ package scenario
 import (
 	"fmt"
 	"sort"
+
+	"lcasgd/internal/rng"
 )
 
 // Kind classifies a cluster event.
@@ -194,6 +196,97 @@ func Mixed() Scenario {
 	s := Scenario{Name: "mixed"}
 	s.Events = append(s.Events, Congestion().Events...)
 	s.Events = append(s.Events, Flaky().Events...)
+	return s
+}
+
+// Randomized generates a seeded random timeline over a fleet of the given
+// size: an arbitrary legal mix of crash/recover, leave/join, partition/heal
+// pairs and phase shifts, with event times spread across the virtual
+// horizon (milliseconds). It is the fuzzer behind the engine's
+// randomized-churn property tests — every invariant the canned scenarios
+// are checked under (backend bit-equivalence, checkpoint/resume equality,
+// no hangs) must hold on any timeline this returns.
+//
+// The construction keeps every timeline live by design: membership and
+// connectivity events come in ordered pairs (each Crash is followed by its
+// Recover, each Partition by its Heal), and worker 0 is never crashed or
+// removed, so the fleet can never permanently empty — a run under any
+// Randomized timeline terminates rather than truncating at a stall.
+// Everything is a pure function of (seed, workers, horizon, events).
+func Randomized(seed uint64, workers int, horizon float64, events int) Scenario {
+	if workers < 1 || horizon <= 0 || events < 0 {
+		panic(fmt.Sprintf("scenario: Randomized(%d, %d, %v, %d)", seed, workers, horizon, events))
+	}
+	g := rng.New(seed)
+	s := Scenario{Name: fmt.Sprintf("randomized-%d", seed)}
+
+	// Sometimes start with a partial fleet and let the remaining ranks join
+	// mid-run, exercising elastic scale-up at random times.
+	initial := workers
+	if workers > 2 && g.Float64() < 0.35 {
+		initial = 1 + g.Intn(workers-1)
+		s.InitialWorkers = initial
+		for rank := initial; rank < workers; rank++ {
+			s.Events = append(s.Events, Event{
+				At: (0.05 + 0.45*g.Float64()) * horizon, Kind: Join, Worker: rank,
+			})
+		}
+	}
+
+	// Per-worker cursors serialize each worker's down/cut windows so the
+	// generated pairs nest sensibly (the engine ignores redundant events,
+	// so overlap would be legal — just ineffective churn).
+	downUntil := make([]float64, workers)
+	cutUntil := make([]float64, workers)
+	for i := 0; i < events; i++ {
+		at := (0.05 + 0.80*g.Float64()) * horizon
+		switch k := g.Intn(10); {
+		case k < 2: // fleet-wide congestion window: shift, then restore
+			s.Events = append(s.Events,
+				Event{At: at, Kind: PhaseShift, Worker: -1,
+					CompScale: 0.5 + 3*g.Float64(), CommScale: 0.5 + 3*g.Float64()},
+				Event{At: at + (0.02+0.1*g.Float64())*horizon, Kind: PhaseShift, Worker: -1,
+					CompScale: 1, CommScale: 1},
+			)
+		case k < 3: // single-worker slowdown
+			s.Events = append(s.Events, Event{
+				At: at, Kind: PhaseShift, Worker: g.Intn(workers),
+				CompScale: 0.5 + 3*g.Float64(), CommScale: 0.5 + 3*g.Float64(),
+			})
+		case k < 6: // crash/recover or leave/join pair; worker 0 is immune
+			if workers == 1 {
+				continue
+			}
+			m := 1 + g.Intn(workers-1)
+			if at < downUntil[m] {
+				at = downUntil[m] + 0.01*horizon
+			}
+			dur := (0.03 + 0.12*g.Float64()) * horizon
+			downUntil[m] = at + dur + 0.01*horizon
+			down, up := Crash, Recover
+			if g.Intn(2) == 1 {
+				down, up = Leave, Join
+			}
+			s.Events = append(s.Events,
+				Event{At: at, Kind: down, Worker: m},
+				Event{At: at + dur, Kind: up, Worker: m},
+			)
+		default: // partition/heal pair; any worker may be cut
+			m := g.Intn(workers)
+			if at < cutUntil[m] {
+				at = cutUntil[m] + 0.01*horizon
+			}
+			dur := (0.03 + 0.12*g.Float64()) * horizon
+			cutUntil[m] = at + dur + 0.01*horizon
+			s.Events = append(s.Events,
+				Event{At: at, Kind: Partition, Worker: m},
+				Event{At: at + dur, Kind: Heal, Worker: m},
+			)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: Randomized generated an invalid timeline: %v", err))
+	}
 	return s
 }
 

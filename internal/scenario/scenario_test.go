@@ -172,3 +172,66 @@ func TestPartitionedPairsCutsWithHeals(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRandomizedDeterministic pins the generator contract: the timeline is a
+// pure function of its arguments, so property tests that rebuild a scenario
+// from a logged seed replay the exact same churn.
+func TestRandomizedDeterministic(t *testing.T) {
+	a := Randomized(42, 16, 500, 20)
+	b := Randomized(42, 16, 500, 20)
+	if a.InitialWorkers != b.InitialWorkers || len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed, different shapes: %+v vs %+v", a, b)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed, event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c := Randomized(43, 16, 500, 20)
+	same := a.InitialWorkers == c.InitialWorkers && len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+// TestRandomizedLiveness sweeps seeds and checks the structural guarantees
+// the generator promises: a valid timeline, worker 0 never retired (so the
+// budget can always drain), every retirement paired with a later revival,
+// and every event inside the horizon.
+func TestRandomizedLiveness(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		s := Randomized(seed, 8, 300, 15)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid: %v", seed, err)
+		}
+		upAfter := map[int]float64{} // worker -> latest revival time
+		for _, ev := range s.Events {
+			if ev.Kind == Recover || ev.Kind == Join {
+				if ev.At > upAfter[ev.Worker] {
+					upAfter[ev.Worker] = ev.At
+				}
+			}
+		}
+		for _, ev := range s.Events {
+			if ev.At < 0 || ev.At > 2*300 {
+				t.Fatalf("seed %d: event far outside horizon: %+v", seed, ev)
+			}
+			if ev.Kind == Crash || ev.Kind == Leave {
+				if ev.Worker == 0 {
+					t.Fatalf("seed %d: worker 0 retired: %+v", seed, ev)
+				}
+				if upAfter[ev.Worker] <= ev.At {
+					t.Fatalf("seed %d: retirement without later revival: %+v", seed, ev)
+				}
+			}
+		}
+	}
+}

@@ -6,8 +6,6 @@
 // virtual time rather than from real hardware.
 package simclock
 
-import "container/heap"
-
 // Event is a callback scheduled at a virtual time.
 type Event struct {
 	At  float64
@@ -15,30 +13,16 @@ type Event struct {
 	seq uint64
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Clock owns the virtual time and the pending event queue.
+// Clock owns the virtual time and the pending event queue. The queue is a
+// hand-rolled binary min-heap of Event values (not pointers): ScheduleAt
+// appends into the slice's spare capacity, so steady-state scheduling —
+// where the queue length oscillates around a high-water mark — allocates
+// nothing. (At, seq) is a strict total order, so the heap's internal
+// arrangement can never influence pop order, only the cost of maintaining
+// it: O(log n) per operation.
 type Clock struct {
 	now       float64
-	queue     eventHeap
+	queue     []Event
 	nextSeq   uint64
 	processed uint64
 }
@@ -70,15 +54,55 @@ func (c *Clock) Processed() uint64 { return c.processed }
 // Pending returns the number of queued events.
 func (c *Clock) Pending() int { return len(c.queue) }
 
+// less orders events by time, breaking ties FIFO by insertion sequence.
+func (c *Clock) less(i, j int) bool {
+	if c.queue[i].At != c.queue[j].At {
+		return c.queue[i].At < c.queue[j].At
+	}
+	return c.queue[i].seq < c.queue[j].seq
+}
+
+// siftUp restores the heap property after appending at index i.
+func (c *Clock) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			return
+		}
+		c.queue[i], c.queue[parent] = c.queue[parent], c.queue[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing the root.
+func (c *Clock) siftDown(i int) {
+	n := len(c.queue)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && c.less(r, l) {
+			min = r
+		}
+		if !c.less(min, i) {
+			return
+		}
+		c.queue[i], c.queue[min] = c.queue[min], c.queue[i]
+		i = min
+	}
+}
+
 // ScheduleAt enqueues run at absolute virtual time at. Scheduling in the
 // past panics: it would silently reorder causality.
 func (c *Clock) ScheduleAt(at float64, run func()) {
 	if at < c.now {
 		panic("simclock: scheduling event in the past")
 	}
-	e := &Event{At: at, Run: run, seq: c.nextSeq}
+	c.queue = append(c.queue, Event{At: at, Run: run, seq: c.nextSeq})
 	c.nextSeq++
-	heap.Push(&c.queue, e)
+	c.siftUp(len(c.queue) - 1)
 }
 
 // ScheduleAfter enqueues run delay time units from now.
@@ -95,7 +119,14 @@ func (c *Clock) Step() bool {
 	if len(c.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&c.queue).(*Event)
+	e := c.queue[0]
+	n := len(c.queue) - 1
+	c.queue[0] = c.queue[n]
+	c.queue[n] = Event{} // release the closure; the slot stays as capacity
+	c.queue = c.queue[:n]
+	if n > 1 {
+		c.siftDown(0)
+	}
 	c.now = e.At
 	c.processed++
 	e.Run()

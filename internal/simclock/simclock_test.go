@@ -151,3 +151,53 @@ func TestClockMonotonicQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHeapOrderTiesStress hammers the hand-rolled value heap with a
+// tie-heavy batch: pops must come out in (At, insertion order) exactly.
+func TestHeapOrderTiesStress(t *testing.T) {
+	g := rng.New(99)
+	c := New()
+	type rec struct {
+		at float64
+		id int
+	}
+	var got []rec
+	for i := 0; i < 1000; i++ {
+		i := i
+		at := float64(g.Intn(50))
+		c.ScheduleAt(at, func() { got = append(got, rec{c.Now(), i}) })
+	}
+	c.Run(nil)
+	if len(got) != 1000 {
+		t.Fatalf("ran %d events, want 1000", len(got))
+	}
+	for k := 1; k < len(got); k++ {
+		if got[k].at < got[k-1].at ||
+			(got[k].at == got[k-1].at && got[k].id < got[k-1].id) {
+			t.Fatalf("event %d (at=%v id=%d) after (at=%v id=%d)",
+				k, got[k].at, got[k].id, got[k-1].at, got[k-1].id)
+		}
+	}
+}
+
+// TestSteadyStateSchedulingAllocs guards the value heap's zero-alloc
+// contract: once the queue has grown to its high-water capacity, a
+// schedule/step cycle must not allocate — pushes reuse the slice's spare
+// capacity and pops only shrink it.
+func TestSteadyStateSchedulingAllocs(t *testing.T) {
+	c := New()
+	run := func() {}
+	for i := 0; i < 64; i++ {
+		c.ScheduleAfter(float64(i), run)
+	}
+	for i := 0; i < 32; i++ {
+		c.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.ScheduleAfter(1000, run)
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/step allocates %v per cycle, want 0", allocs)
+	}
+}

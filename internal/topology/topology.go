@@ -169,6 +169,31 @@ func ValidateSpec(spec string) error {
 	return fmt.Errorf("topology: unknown spec %q (valid: %s)", spec, strings.Join(Names(), ", "))
 }
 
+// SpecMinWorkers returns the smallest fleet a spec can span: the highest
+// rank an explicit edge list names plus one, or 0 for the named topologies,
+// which scale to any fleet size. Fleets below the minimum would silently
+// lose the out-of-range edges (New drops them) and can leave the graph
+// disconnected, so flag-level callers reject the pairing up front instead.
+func SpecMinWorkers(spec string) (int, error) {
+	rest, ok := strings.CutPrefix(spec, "edges:")
+	if !ok {
+		return 0, ValidateSpec(spec)
+	}
+	edges, err := parseEdgeList(rest)
+	if err != nil {
+		return 0, err
+	}
+	min := 0
+	for _, e := range edges {
+		for _, r := range e {
+			if r+1 > min {
+				min = r + 1
+			}
+		}
+	}
+	return min, nil
+}
+
 // Names lists the valid topology spec forms, for flag vocabulary messages.
 func Names() []string {
 	return []string{"ring", "complete", "star", "gossip", "edges:i-j,k-l,..."}
@@ -337,6 +362,21 @@ func (s *Selector) Pick(m int, ok func(j int) bool) int {
 		k--
 	}
 	panic("topology: unreachable")
+}
+
+// PickUniform returns rank m's gossip partner when every neighbor is known
+// to qualify — the no-churn fast path. It consumes exactly one draw and
+// indexes the neighbor list directly, returning the same partner Pick would
+// with an always-true filter (the filtered walk reduces to the k-th
+// neighbor when all pass), but in O(1) instead of O(degree) — which on a
+// complete graph is the difference between O(1) and O(M) per commit.
+func (s *Selector) PickUniform(m int) int {
+	draw := s.rng.Uint64()
+	ns := s.g.Neighbors(m)
+	if len(ns) == 0 {
+		return -1
+	}
+	return ns[int(draw%uint64(len(ns)))]
 }
 
 // State exposes the selector stream's position for checkpointing.

@@ -5,6 +5,8 @@
 package trainer
 
 import (
+	"time"
+
 	"lcasgd/internal/cluster"
 	"lcasgd/internal/core"
 	"lcasgd/internal/data"
@@ -61,6 +63,15 @@ type Profile struct {
 	// GOMAXPROCS/Jobs (see sched.go). Incompatible with the concurrent
 	// backend, which owns that cap itself.
 	Jobs int
+
+	// Progress, when non-nil, is called by sweep pools after every completed
+	// cell with the number of cells finished so far, the number submitted so
+	// far, and the wall time since the sweep's pool was created (cmd/lcexp
+	// -v). Pooled sweeps invoke it from worker goroutines under the pool's
+	// lock, so implementations need no synchronization of their own; they
+	// must not block and should write to stderr, keeping stdout (tables,
+	// charts, CSV) byte-identical with and without progress reporting.
+	Progress func(done, total int, elapsed time.Duration)
 
 	// Store, when non-nil, persists every cell run under this profile into
 	// the experiment store: config, checkpoints at every CkptEvery epochs,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"lcasgd/internal/ps"
 	"lcasgd/internal/tensor"
@@ -42,6 +43,15 @@ type cellPool struct {
 	jobs   int
 	sem    chan struct{}
 	prevMM int
+
+	// Progress accounting (Profile.Progress): completions are counted under
+	// progMu because pooled cells finish on worker goroutines; the callback
+	// runs under the same lock, so sinks need no synchronization.
+	progress  func(done, total int, elapsed time.Duration)
+	started   time.Time
+	progMu    sync.Mutex
+	submitted int
+	completed int
 }
 
 // newPool sizes a pool from the profile. Jobs <= 1 yields the inline
@@ -49,7 +59,7 @@ type cellPool struct {
 func newPool(p Profile) *cellPool {
 	jobs := p.Jobs
 	if jobs <= 1 {
-		return &cellPool{jobs: 1}
+		return &cellPool{jobs: 1, progress: p.Progress, started: time.Now()}
 	}
 	if p.Backend == ps.BackendConcurrent {
 		panic("trainer: Jobs > 1 cannot be combined with the concurrent backend: " +
@@ -62,10 +72,27 @@ func newPool(p Profile) *cellPool {
 		mm = 1
 	}
 	return &cellPool{
-		jobs:   jobs,
-		sem:    make(chan struct{}, jobs),
-		prevMM: tensor.SetMatmulParallelism(mm),
+		jobs:     jobs,
+		sem:      make(chan struct{}, jobs),
+		prevMM:   tensor.SetMatmulParallelism(mm),
+		progress: p.Progress,
+		started:  time.Now(),
 	}
+}
+
+// cellDone counts a completed cell and emits a progress report. The total is
+// the number of cells submitted so far: sweeps submit their whole grid
+// before the first pooled cell can finish, so pooled reports show the true
+// denominator, while inline (Jobs <= 1) reports grow it as the sweep walks
+// its loops — either way the line says how far along the sweep is.
+func (cp *cellPool) cellDone() {
+	if cp.progress == nil {
+		return
+	}
+	cp.progMu.Lock()
+	cp.completed++
+	cp.progress(cp.completed, cp.submitted, time.Since(cp.started))
+	cp.progMu.Unlock()
 }
 
 // close releases the matmul cap and the sweep lock. It must be called after
@@ -92,11 +119,15 @@ type cellFuture struct {
 // failing cell still aborts the sweep like it did sequentially.
 func (cp *cellPool) submit(fn func() ps.Result) *cellFuture {
 	f := &cellFuture{done: make(chan struct{})}
+	cp.progMu.Lock()
+	cp.submitted++
+	cp.progMu.Unlock()
 	if cp.jobs <= 1 {
 		// No recover here: a sequential sweep propagates a cell panic from
 		// the submission site immediately, exactly like the old loops.
 		f.res = fn()
 		close(f.done)
+		cp.cellDone()
 		return f
 	}
 	go func() {
@@ -105,6 +136,7 @@ func (cp *cellPool) submit(fn func() ps.Result) *cellFuture {
 			f.pan = recover()
 			<-cp.sem
 			close(f.done)
+			cp.cellDone()
 		}()
 		f.res = fn()
 	}()
