@@ -38,7 +38,11 @@
 // interrupted ones from their last checkpoint, bit-identically — which is
 // what makes the paper-scale `-full -exp robust` sweep feasible on
 // preemptible runners. -ckpt-keep retains the newest K checkpoints per run
-// so resume can fall back past a corrupted latest one. -recover-opt adds
+// so resume can fall back past a corrupted latest one. -ckpt-full-every
+// controls the delta cadence: every K-th checkpoint is a self-contained
+// full snapshot, the ones between encode only the sections that changed
+// since the previous barrier and chain onto it (resume materializes the
+// chain; a broken link falls back to the newest intact one). -recover-opt adds
 // robustness-table variant rows where a crash-recovered worker restores its
 // state from the last checkpoint instead of re-pulling fresh (the
 // lost-momentum study). -render re-renders every figure and table from the
@@ -86,15 +90,16 @@ func main() {
 			fmt.Sprintf("cluster-event timeline for every run: %s", strings.Join(scenario.Names(), ", ")))
 		topo = flag.String("topology", "",
 			fmt.Sprintf("gossip graph for decentralized (AD-PSGD) cells: %s (empty = ring)", strings.Join(topology.Names(), ", ")))
-		verbose    = flag.Bool("v", false, "report sweep progress to stderr (cells done/total, elapsed)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		ckptDir    = flag.String("ckpt-dir", "", "experiment store directory: every run persists its config, checkpoints and result there")
-		ckptEvery  = flag.Int("ckpt-every", 1, "checkpoint barrier cadence in epochs for persisted runs (with -ckpt-dir)")
-		ckptKeep   = flag.Int("ckpt-keep", 1, "checkpoints to retain per persisted run; keeping more lets -resume fall back past a corrupted latest one")
-		resume     = flag.Bool("resume", false, "with -ckpt-dir: skip completed runs, resume interrupted ones from their last checkpoint")
-		render     = flag.Bool("render", false, "with -ckpt-dir: re-render figures and tables from persisted results without recomputing")
-		recoverOpt = flag.Bool("recover-opt", false, "robust: add variant rows where recovered workers restore the last checkpoint instead of pulling fresh state")
+		verbose       = flag.Bool("v", false, "report sweep progress to stderr (cells done/total, elapsed)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		ckptDir       = flag.String("ckpt-dir", "", "experiment store directory: every run persists its config, checkpoints and result there")
+		ckptEvery     = flag.Int("ckpt-every", 1, "checkpoint barrier cadence in epochs for persisted runs (with -ckpt-dir)")
+		ckptKeep      = flag.Int("ckpt-keep", 1, "checkpoints to retain per persisted run; keeping more lets -resume fall back past a corrupted latest one")
+		ckptFullEvery = flag.Int("ckpt-full-every", 8, "every K-th persisted checkpoint is a self-contained full snapshot; the ones between are deltas chained onto it (1 = every checkpoint full)")
+		resume        = flag.Bool("resume", false, "with -ckpt-dir: skip completed runs, resume interrupted ones from their last checkpoint")
+		render        = flag.Bool("render", false, "with -ckpt-dir: re-render figures and tables from persisted results without recomputing")
+		recoverOpt    = flag.Bool("recover-opt", false, "robust: add variant rows where recovered workers restore the last checkpoint instead of pulling fresh state")
 	)
 	flag.Parse()
 
@@ -173,8 +178,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lcexp: -ckpt-keep must be at least 1")
 		os.Exit(2)
 	}
-	if *ckptEvery <= 0 && *ckptDir != "" {
+	if *ckptEvery < 0 {
+		// Rejected even without -ckpt-dir: a negative cadence is never
+		// meaningful, and catching it here beats a ps panic mid-sweep.
+		fmt.Fprintln(os.Stderr, "lcexp: -ckpt-every cannot be negative")
+		os.Exit(2)
+	}
+	if *ckptEvery == 0 && *ckptDir != "" {
 		fmt.Fprintln(os.Stderr, "lcexp: -ckpt-every must be positive with -ckpt-dir")
+		os.Exit(2)
+	}
+	if *ckptFullEvery < 1 {
+		fmt.Fprintln(os.Stderr, "lcexp: -ckpt-full-every must be at least 1")
 		os.Exit(2)
 	}
 	var store *snapshot.Store
@@ -247,6 +262,7 @@ func main() {
 			p.Store = store
 			p.CkptEvery = *ckptEvery
 			p.CkptKeep = *ckptKeep
+			p.CkptFullEvery = *ckptFullEvery
 			p.Resume = *resume
 			p.Render = *render
 		}

@@ -170,6 +170,92 @@ func fleetScaleEnv(algo Algo, workers int, scn *scenario.Scenario) Env {
 	}
 }
 
+// BenchmarkCheckpointScale measures the checkpoint fast path at fleet
+// scale: whole AD-PSGD runs (the costliest snapshot — every worker carries
+// a full parameter replica) at M ∈ {16, 256, 1024, 4096} with an in-memory
+// sink, at barrier cadences every ∈ {0, 1, 4}. every=0 is the
+// no-checkpoint baseline, so the checkpoint path's wall-time cost is the
+// ns/op delta against it. Each worker gets 8 iterations (epochs scale with
+// M, like fleetScaleEnv): a barrier's quiescent drain absorbs roughly one
+// full fleet round, so this yields a comparable ~7 barriers per run at
+// every M. The sparse cells park 7/8 of the fleet up front — dead workers'
+// sections stay clean, so deltas carry only the live eighth; that is the
+// regime (most of a big fleet idle or partitioned between barriers) where
+// delta encoding beats re-encoding the world. Reported metrics:
+// checkpoints per run, average container size, and the full-vs-delta
+// split (KB) that BENCH_ps.json records at M=1024; finalErr doubles as a
+// trajectory fingerprint — it must be bit-identical across cadences and
+// across the before/after binaries of a perf comparison, since checkpoint
+// encoding must never perturb the run.
+func BenchmarkCheckpointScale(b *testing.B) {
+	const itersPerWorker = 8
+	sparseScn := func(m int) *scenario.Scenario {
+		scn := &scenario.Scenario{Name: "sparse"}
+		for w := m / 8; w < m; w++ {
+			scn.Events = append(scn.Events, scenario.Event{
+				At: 1 + 0.01*float64(w), Kind: scenario.Crash, Worker: w,
+			})
+		}
+		return scn
+	}
+	type cell struct {
+		name  string
+		every int
+		scn   *scenario.Scenario
+	}
+	for _, m := range []int{16, 256, 1024, 4096} {
+		cells := []cell{
+			{"every0", 0, nil},
+			{"every1", 1, nil},
+			{"every4", 4, nil},
+			{"sparse/every0", 0, sparseScn(m)},
+			{"sparse/every1", 1, sparseScn(m)},
+		}
+		for _, c := range cells {
+			b.Run(fmt.Sprintf("ADPSGD/M%d/%s", m, c.name), func(b *testing.B) {
+				env := fleetScaleEnv(ADPSGD, m, c.scn)
+				env.Cfg.Epochs = m * itersPerWorker
+				env.Cfg.CheckpointEvery = c.every
+				every := c.every
+				var cks, total, fullB, fullN, deltaB, deltaN int
+				if every > 0 {
+					env.CheckpointSink = func(ck Checkpoint) error {
+						cks++
+						total += len(ck.Data)
+						if ck.Full {
+							fullB += len(ck.Data)
+							fullN++
+						} else {
+							deltaB += len(ck.Data)
+							deltaN++
+						}
+						return nil
+					}
+				}
+				var fp float64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := Run(env)
+					fp = res.FinalTestErr
+				}
+				b.StopTimer()
+				b.ReportMetric(fp, "finalErr")
+				if cks > 0 {
+					b.ReportMetric(float64(cks)/float64(b.N), "ckpt/op")
+					b.ReportMetric(float64(total)/float64(cks)/1024, "KB/ckpt")
+				}
+				if fullN > 0 {
+					b.ReportMetric(float64(fullB)/float64(fullN)/1024, "fullKB")
+				}
+				if deltaN > 0 {
+					b.ReportMetric(float64(deltaB)/float64(deltaN)/1024, "deltaKB")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFleetScale drives whole runs at M ∈ {16, 256, 1024, 4096} for one
 // parameter-server algorithm (ASGD) and one decentralized one (AD-PSGD),
 // with and without churn, reporting ns and allocs per simulator event. The

@@ -34,26 +34,39 @@ import (
 // barriers. ConfigKey therefore includes CheckpointEvery.
 
 // Checkpoint is one frozen quiescent state, produced by the engine at each
-// barrier and consumed by Resume.
+// barrier and consumed by Resume. Data is a snapshot.Container: every
+// CheckpointFullEvery-th checkpoint is self-contained (Full), the ones
+// between are deltas holding only the sections dirtied since the previous
+// checkpoint (see ckptfast.go). Resume takes a full container; a delta
+// chain is replayed into one with snapshot.Materialize, walking BaseEpoch
+// back to the nearest full.
 type Checkpoint struct {
 	Epoch     int     // completed global epochs at the barrier
 	Batches   int     // mini-batches consumed
 	Updates   int     // server updates applied
 	VirtualMs float64 // virtual time of the barrier
-	Data      []byte  // codec stream; opaque outside this package
+	Full      bool    // self-contained snapshot vs delta
+	BaseEpoch int     // delta only: epoch of the checkpoint it chains onto
+	Data      []byte  // snapshot.Container bytes; opaque outside this package
 }
 
 // ConfigKey returns the content key identifying a run: the hex SHA-256 of
 // the canonical (defaults-applied) configuration. Everything that shapes
 // the trajectory is included — algorithm, seed, scenario, checkpoint
-// cadence — while the execution backend is excluded, because backends are
-// bit-identical by construction: a run may checkpoint on the sequential
-// backend and resume on the concurrent one. The experiment store addresses
+// cadence — while the execution backend and the full-snapshot cadence are
+// excluded, because they are bit-identical by construction: a run may
+// checkpoint on the sequential backend and resume on the concurrent one,
+// and full-vs-delta is an encoding choice. The experiment store addresses
 // run directories by this key, and every checkpoint embeds it so a snapshot
 // cannot be restored into a different experiment.
 func ConfigKey(cfg Config) string {
 	c := cfg.withDefaults()
 	c.Backend = ""
+	// Full-snapshot cadence is pure persistence policy: the barrier timeline
+	// and every result bit are identical for any value, so like Backend it
+	// must not fork the key (a run may checkpoint with one cadence and
+	// resume with another).
+	c.CheckpointFullEvery = 0
 	b, err := json.Marshal(c)
 	if err != nil {
 		panic(fmt.Sprintf("ps: marshal config: %v", err)) // plain data struct; cannot fail
@@ -127,16 +140,7 @@ func (e *Engine) takeCheckpoint() {
 		e.ckptUpdates = e.srv.updates
 	}
 	if e.env.CheckpointSink != nil {
-		ck := Checkpoint{
-			Epoch:     e.srv.epoch(),
-			Batches:   e.srv.batches,
-			Updates:   e.srv.updates,
-			VirtualMs: e.clock.Now(),
-			Data:      e.snapshotBytes(),
-		}
-		if err := e.env.CheckpointSink(ck); err != nil {
-			panic(fmt.Sprintf("ps: checkpoint sink: %v", err))
-		}
+		e.emitCheckpoint()
 	}
 	e.relaunchDeferred()
 }
@@ -156,222 +160,184 @@ func (e *Engine) relaunchDeferred() {
 	}
 }
 
-// snapshotBytes serializes the engine at a quiescent barrier. Worker
-// replicas are deliberately absent: every strategy's Launch begins with
-// Pull, which overwrites the replica's parameters, BN statistics and
-// workspace from server state, so at a boundary where no iteration is in
-// flight the only live per-worker state is the batch iterator position.
-func (e *Engine) snapshotBytes() []byte {
-	assertQuiescent(e, "snapshot")
-	var buf bytes.Buffer
-	w := snapshot.NewWriter(&buf)
-	w.String(ConfigKey(e.cfg))
-
-	// Virtual clock.
-	w.F64(e.clock.Now())
-
-	// Parameter server.
-	w.F64s(e.srv.w)
-	w.F64(e.srv.lrScale)
-	w.Int(e.srv.batches)
-	w.Int(e.srv.updates)
-	e.srv.bnAcc.SnapshotTo(w)
-
-	// RNG streams: the run's seed stream (post-Setup position) and the cost
-	// sampler (its own stream plus scenario phase multipliers).
-	st := e.seedRng.State()
-	w.U64s(st[:])
-	e.sampler.SnapshotTo(w)
-
-	// Per-worker state: batch iterator position, fleet membership,
-	// partition/parking flags, staleness snapshot, recover-opt flag.
-	w.Int(len(e.reps))
-	for m, rep := range e.reps {
-		rep.iter.SnapshotTo(w)
-		w.Bool(e.fleet.active[m])
-		w.U64(e.fleet.gen[m])
-		w.Bool(e.fleet.cut[m])
-		w.Bool(e.fleet.parked[m])
-		w.Int(e.snapUpdates[m])
-		w.Bool(e.recoverPend[m])
+// restoreSection locates one required section of a full container and runs
+// its decoder against a bare reader over the payload.
+func restoreSection(c *snapshot.Container, id snapshot.SectionID, f func(r *snapshot.Reader) error) error {
+	s := c.Section(id)
+	if s == nil {
+		return fmt.Errorf("checkpoint is missing section (%d,%d)", id.Kind, id.Index)
 	}
-
-	// Decentralized per-worker model state (decentral.go). Unlike replicas,
-	// which the next Pull reconstructs, each worker's local weights and
-	// commit counter are live state at a barrier, and the partner-selection
-	// stream's position must replay exactly.
-	if e.dec != nil {
-		w.Bool(true)
-		for m := range e.reps {
-			w.F64s(e.dec.w[m])
-			w.Int(e.dec.iter[m])
-		}
-		st := e.dec.sel.State()
-		w.U64s(st[:])
-	} else {
-		w.Bool(false)
-	}
-
-	// Run-level accounting.
-	w.Int(e.stalenessSum)
-	w.Int(e.stalenessN)
-	w.Int(e.maxStale)
-	w.Int(e.scnApplied)
-
-	// Learning-curve recorder.
-	w.Int(e.rec.lastEpoch)
-	w.Int(len(e.rec.points))
-	for _, p := range e.rec.points {
-		w.Int(p.Epoch)
-		w.F64(p.Time)
-		w.F64(p.TrainErr)
-		w.F64(p.TestErr)
-	}
-
-	// Armed scenario events, in arm order (ascending id), skipping fired
-	// tombstones. Re-arming them in this order on resume reproduces the
-	// clock's FIFO tie-breaking: at the barrier every armed event was
-	// scheduled before any deferred relaunch will be.
-	w.Int(len(e.armed) - e.armedDead)
-	for _, a := range e.armed {
-		if a.dead {
-			continue
-		}
-		writeScnEvent(w, a.ev)
-	}
-
-	// Launches deferred by the drain.
-	w.Ints(e.deferred)
-
-	// Algorithm-specific server-side state.
-	if ss, ok := e.strategy.(StrategySnapshotter); ok {
-		w.Bool(true)
-		ss.SnapshotState(e, w)
-	} else {
-		w.Bool(false)
-	}
-
-	if err := w.Close(); err != nil {
-		panic(fmt.Sprintf("ps: serialize checkpoint: %v", err)) // in-memory buffer; cannot fail
-	}
-	return buf.Bytes()
-}
-
-// restore loads a snapshot produced by snapshotBytes into a freshly built
-// (and Setup) engine. On success the engine is at the barrier's quiescent
-// point: clock set, scenario events re-armed, deferred launches recorded
-// but not yet re-armed (relaunchDeferred does that, mirroring the
-// straight-through takeCheckpoint).
-func (e *Engine) restore(data []byte) error {
-	r, err := snapshot.NewReader(bytes.NewReader(data))
+	r, err := snapshot.NewBareReader(bytes.NewReader(s.Payload))
 	if err != nil {
 		return err
 	}
-	if key := r.String(); r.Err() == nil && key != ConfigKey(e.cfg) {
+	if err := f(r); err != nil {
+		return err
+	}
+	return r.Close()
+}
+
+// restore loads a full checkpoint container (see ckptfast.go for the
+// section layout) into a freshly built (and Setup) engine. On success the
+// engine is at the barrier's quiescent point: clock set, scenario events
+// re-armed, deferred launches recorded but not yet re-armed
+// (relaunchDeferred does that, mirroring the straight-through
+// takeCheckpoint), and the delta cache seeded so the next checkpoint — a
+// forced full, since this process never emitted the chain the store holds —
+// reuses the restored blobs for sections that stay clean.
+func (e *Engine) restore(data []byte) error {
+	c, err := snapshot.DecodeContainer(data)
+	if err != nil {
+		return err
+	}
+	if c.Kind != snapshot.KindFull {
+		return fmt.Errorf("%w (materialize the delta chain first)", snapshot.ErrNotFull)
+	}
+	if c.Key != ConfigKey(e.cfg) {
 		return fmt.Errorf("checkpoint was taken under a different configuration (key %.16s…, want %.16s…)",
-			key, ConfigKey(e.cfg))
+			c.Key, ConfigKey(e.cfg))
 	}
 
-	now := r.F64()
-
-	r.F64sInto(e.srv.w)
-	e.srv.lrScale = r.F64()
-	e.srv.batches = r.Int()
-	e.srv.updates = r.Int()
-	if err := e.srv.bnAcc.RestoreFrom(r); err != nil {
-		return err
-	}
-
-	seedState := r.U64s()
-	if r.Err() == nil && len(seedState) != 4 {
-		return fmt.Errorf("seed stream snapshot has %d words", len(seedState))
-	}
-	if r.Err() == nil {
-		e.seedRng.SetState([4]uint64{seedState[0], seedState[1], seedState[2], seedState[3]})
-	}
-	if err := e.sampler.RestoreFrom(r); err != nil {
-		return err
-	}
-
-	if workers := r.Int(); r.Err() == nil && workers != len(e.reps) {
-		return fmt.Errorf("checkpoint has %d workers, engine has %d", workers, len(e.reps))
-	}
-	for m, rep := range e.reps {
-		if err := rep.iter.RestoreFrom(r); err != nil {
-			return err
+	// Meta first: it carries the clock, the scalar state, and the shape
+	// flags (worker count, point count, presence bits) the rest of the
+	// container is validated against.
+	var (
+		now      float64
+		nPoints  int
+		armed    []scenario.Event
+		deferred []int
+	)
+	if err := restoreSection(c, snapshot.SectionID{Kind: secMeta}, func(r *snapshot.Reader) error {
+		if workers := r.Int(); r.Err() == nil && workers != len(e.reps) {
+			return fmt.Errorf("checkpoint has %d workers, engine has %d", workers, len(e.reps))
 		}
-		e.fleet.active[m] = r.Bool()
-		e.fleet.gen[m] = r.U64()
-		e.fleet.cut[m] = r.Bool()
-		e.fleet.parked[m] = r.Bool()
-		e.snapUpdates[m] = r.Int()
-		e.recoverPend[m] = r.Bool()
-	}
-
-	hasDec := r.Bool()
-	if r.Err() == nil && hasDec != (e.dec != nil) {
-		return fmt.Errorf("checkpoint decentralized-state presence %v, engine expects %v", hasDec, e.dec != nil)
-	}
-	if hasDec && r.Err() == nil {
-		for m := range e.reps {
-			r.F64sInto(e.dec.w[m])
-			e.dec.iter[m] = r.Int()
-		}
-		selState := r.U64s()
-		if r.Err() == nil && len(selState) != 4 {
-			return fmt.Errorf("neighbor stream snapshot has %d words", len(selState))
+		now = r.F64()
+		e.srv.lrScale = r.F64()
+		e.srv.batches = r.Int()
+		e.srv.updates = r.Int()
+		seedState := r.U64s()
+		if r.Err() == nil && len(seedState) != 4 {
+			return fmt.Errorf("seed stream snapshot has %d words", len(seedState))
 		}
 		if r.Err() == nil {
-			e.dec.sel.SetState([4]uint64{selState[0], selState[1], selState[2], selState[3]})
+			e.seedRng.SetState([4]uint64{seedState[0], seedState[1], seedState[2], seedState[3]})
 		}
+		if err := e.sampler.RestoreFrom(r); err != nil {
+			return err
+		}
+		e.stalenessSum = r.Int()
+		e.stalenessN = r.Int()
+		e.maxStale = r.Int()
+		e.scnApplied = r.Int()
+		e.rec.lastEpoch = r.Int()
+		nPoints = r.Int()
+		if r.Err() == nil && (nPoints < 0 || nPoints > e.srv.batches+1) {
+			return fmt.Errorf("checkpoint has implausible %d curve points", nPoints)
+		}
+		nArmed := r.Int()
+		if r.Err() == nil && (nArmed < 0 || nArmed > 1<<20) {
+			return fmt.Errorf("checkpoint has implausible %d armed events", nArmed)
+		}
+		armed = make([]scenario.Event, 0, nArmed)
+		for i := 0; i < nArmed && r.Err() == nil; i++ {
+			armed = append(armed, readScnEvent(r))
+		}
+		deferred = r.Ints()
+		for _, m := range deferred {
+			if m < 0 || m >= len(e.reps) {
+				return fmt.Errorf("checkpoint defers launch of worker %d of %d", m, len(e.reps))
+			}
+		}
+		hasDec := r.Bool()
+		if r.Err() == nil && hasDec != (e.dec != nil) {
+			return fmt.Errorf("checkpoint decentralized-state presence %v, engine expects %v", hasDec, e.dec != nil)
+		}
+		if hasDec && r.Err() == nil {
+			selState := r.U64s()
+			if r.Err() == nil && len(selState) != 4 {
+				return fmt.Errorf("neighbor stream snapshot has %d words", len(selState))
+			}
+			if r.Err() == nil {
+				e.dec.sel.SetState([4]uint64{selState[0], selState[1], selState[2], selState[3]})
+			}
+		}
+		hasStrategy := r.Bool()
+		_, wantStrategy := e.strategy.(StrategySnapshotter)
+		if r.Err() == nil && hasStrategy != wantStrategy {
+			return fmt.Errorf("checkpoint strategy-state presence %v, strategy expects %v", hasStrategy, wantStrategy)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 
-	e.stalenessSum = r.Int()
-	e.stalenessN = r.Int()
-	e.maxStale = r.Int()
-	e.scnApplied = r.Int()
-
-	e.rec.lastEpoch = r.Int()
-	nPoints := r.Int()
-	if r.Err() == nil && (nPoints < 0 || nPoints > e.srv.batches+1) {
-		return fmt.Errorf("checkpoint has implausible %d curve points", nPoints)
+	if err := restoreSection(c, snapshot.SectionID{Kind: secServerW}, func(r *snapshot.Reader) error {
+		r.F64sInto(e.srv.w)
+		return nil
+	}); err != nil {
+		return err
 	}
+	if err := restoreSection(c, snapshot.SectionID{Kind: secBN}, func(r *snapshot.Reader) error {
+		return e.srv.bnAcc.RestoreFrom(r)
+	}); err != nil {
+		return err
+	}
+
+	nChunks := (nPoints + recChunkLen - 1) / recChunkLen
 	e.rec.points = e.rec.points[:0]
-	for i := 0; i < nPoints && r.Err() == nil; i++ {
-		e.rec.points = append(e.rec.points, Point{
-			Epoch: r.Int(), Time: r.F64(), TrainErr: r.F64(), TestErr: r.F64(),
-		})
-	}
-
-	nArmed := r.Int()
-	if r.Err() == nil && (nArmed < 0 || nArmed > 1<<20) {
-		return fmt.Errorf("checkpoint has implausible %d armed events", nArmed)
-	}
-	armed := make([]scenario.Event, 0, nArmed)
-	for i := 0; i < nArmed && r.Err() == nil; i++ {
-		armed = append(armed, readScnEvent(r))
-	}
-
-	deferred := r.Ints()
-	for _, m := range deferred {
-		if m < 0 || m >= len(e.reps) {
-			return fmt.Errorf("checkpoint defers launch of worker %d of %d", m, len(e.reps))
+	for i := 0; i < nChunks; i++ {
+		want := nPoints - i*recChunkLen
+		if want > recChunkLen {
+			want = recChunkLen
 		}
-	}
-
-	hasStrategy := r.Bool()
-	ss, wantStrategy := e.strategy.(StrategySnapshotter)
-	if r.Err() == nil && hasStrategy != wantStrategy {
-		return fmt.Errorf("checkpoint strategy-state presence %v, strategy expects %v", hasStrategy, wantStrategy)
-	}
-	if hasStrategy && r.Err() == nil {
-		if err := ss.RestoreState(e, r); err != nil {
+		if err := restoreSection(c, snapshot.SectionID{Kind: secRecChunk, Index: uint32(i)}, func(r *snapshot.Reader) error {
+			if n := r.Int(); r.Err() == nil && n != want {
+				return fmt.Errorf("curve chunk %d has %d points, meta promises %d", i, n, want)
+			}
+			for j := 0; j < want && r.Err() == nil; j++ {
+				e.rec.points = append(e.rec.points, Point{
+					Epoch: r.Int(), Time: r.F64(), TrainErr: r.F64(), TestErr: r.F64(),
+				})
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
 	}
 
-	if err := r.Close(); err != nil {
-		return err
+	for m := range e.reps {
+		m := m
+		if err := restoreSection(c, snapshot.SectionID{Kind: secWorker, Index: uint32(m)}, func(r *snapshot.Reader) error {
+			if err := e.reps[m].iter.RestoreFrom(r); err != nil {
+				return err
+			}
+			e.fleet.active[m] = r.Bool()
+			e.fleet.gen[m] = r.U64()
+			e.fleet.cut[m] = r.Bool()
+			e.fleet.parked[m] = r.Bool()
+			e.snapUpdates[m] = r.Int()
+			e.recoverPend[m] = r.Bool()
+			if e.dec != nil {
+				r.F64sInto(e.dec.w[m])
+				e.dec.iter[m] = r.Int()
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	nExpected := 3 + nChunks + len(e.reps)
+	if ss, ok := e.strategy.(StrategySnapshotter); ok {
+		nExpected++
+		if err := restoreSection(c, snapshot.SectionID{Kind: secStrategy}, func(r *snapshot.Reader) error {
+			return ss.RestoreState(e, r)
+		}); err != nil {
+			return err
+		}
+	}
+	if len(c.Sections) != nExpected {
+		return fmt.Errorf("checkpoint has %d sections, expected %d", len(c.Sections), nExpected)
 	}
 
 	// Everything decoded and verified; now mutate the live engine pieces
@@ -398,6 +364,20 @@ func (e *Engine) restore(data []byte) error {
 		e.ckptW = append(e.ckptW[:0], e.srv.w...)
 		e.ckptBN = e.srv.bnAcc.Clone()
 		e.ckptUpdates = e.srv.updates
+	}
+
+	// Seed the delta cache from the restored container: sections still clean
+	// at the next barrier reuse these blobs verbatim. The chain cursor stays
+	// at -1 — the first post-resume checkpoint is forced full, because a
+	// delta would have to base on the materialized container, which the
+	// store never held (it holds the original full + deltas, whose framing
+	// checksums differ).
+	e.ck.seq = c.Seq + 1
+	for _, s := range c.Sections {
+		if s.ID.Kind == secMeta || s.ID.Kind == secStrategy {
+			continue
+		}
+		e.ck.cache[s.ID] = ckptBlob{payload: s.Payload, sum: s.Sum, gen: e.sectionGen(s.ID)}
 	}
 	return nil
 }

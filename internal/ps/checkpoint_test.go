@@ -8,9 +8,25 @@ import (
 )
 
 // runCapturing executes env, collecting every checkpoint the barriers emit.
+// Delta checkpoints are materialized against the raw chain since the last
+// full — the emitted containers, not previously materialized ones, because a
+// delta's BaseSum names the container that was actually emitted — so every
+// returned Checkpoint.Data is a self-contained snapshot Resume accepts.
 func runCapturing(env Env) (Result, []Checkpoint) {
 	var cks []Checkpoint
+	var chain [][]byte
 	env.CheckpointSink = func(ck Checkpoint) error {
+		if ck.Full {
+			chain = chain[:0]
+		}
+		chain = append(chain, ck.Data)
+		if !ck.Full {
+			data, err := snapshot.Materialize(chain...)
+			if err != nil {
+				return err
+			}
+			ck.Data = data
+		}
 		cks = append(cks, ck)
 		return nil
 	}
@@ -274,14 +290,26 @@ func TestSnapshotStateRoundTripViaStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rd.SetKeep(4)
 	env.CheckpointSink = func(ck Checkpoint) error {
 		return rd.SaveCheckpoint(ck.Data, snapshot.CkptMeta{
 			Epoch: ck.Epoch, Batches: ck.Batches, Updates: ck.Updates, VirtualMs: ck.VirtualMs,
+			Full: ck.Full, BaseEpoch: ck.BaseEpoch,
 		})
 	}
 	full := Run(env)
 
-	data, meta, err := rd.LoadCheckpoint()
+	metas, err := rd.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) == 0 {
+		t.Fatal("no checkpoints stored")
+	}
+	if metas[0].Full {
+		t.Fatalf("latest checkpoint at epoch %d is full; this test must resume through a delta chain", metas[0].Epoch)
+	}
+	data, meta, err := rd.LoadChain(metas[0].Epoch)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,392 @@
+package ps
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lcasgd/internal/snapshot"
+	"lcasgd/internal/tensor"
+)
+
+// This file is the checkpoint fast path: the engine state is carved into
+// independent sections (snapshot.Container), each tagged with a dirty
+// generation maintained at the engine's mutation sites, so a barrier
+// re-encodes only what changed since the previous checkpoint. Every
+// CheckpointFullEvery-th checkpoint is a self-contained full container; the
+// ones between are deltas chained onto their predecessor by (BaseEpoch,
+// BaseSum). Dirty sections are encoded by a bounded goroutine pool sharing
+// the kernels' core budget (tensor.MatmulParallelism), and the final
+// container assembly + sink write happen on a writer goroutine while the
+// simulation resumes — at most one write is in flight, drained at the next
+// barrier, at the end of the run, and before a restore.
+//
+// Byte determinism: sections appear in canonical ascending SectionID order
+// and each section's encoding depends only on the frozen engine state, so
+// the emitted bytes are identical whatever the pool size — a property the
+// tests pin by comparing pool-of-1 and pool-of-N encodes.
+
+// Section kinds of the engine's frozen state. The order (by kind, then
+// index) is the canonical container order; restore validates that a full
+// container holds exactly the expected set.
+const (
+	secMeta     = 0 // scalars, RNG streams, armed timeline, deferred launches — always dirty
+	secServerW  = 1 // server weight vector; dirty generation srvWGen
+	secBN       = 2 // global BN accumulator; dirty generation bnGen
+	secStrategy = 3 // StrategySnapshotter payload — always dirty (present iff implemented)
+	secRecChunk = 4 // learning-curve points, chunked; generation = points in chunk
+	secWorker   = 5 // per-worker state, indexed by rank; dirty generation wgen[m]
+)
+
+// recChunkLen is the recorder chunk size: full chunks are frozen forever
+// (their generation — the point count — stops moving), so only the last,
+// growing chunk re-encodes at each barrier of a long run.
+const recChunkLen = 64
+
+// Test hooks. ckptPoolSize forces the encode pool size (0 derives it from
+// the shared core budget); ckptAudit, when set, freshly re-encodes every
+// section the cache marked clean and hands the hook both byte slices — the
+// dirty-tracking completeness oracle: any mutation site missing a
+// generation bump shows up as cached≠fresh.
+var (
+	ckptPoolSize int
+	ckptAudit    func(id snapshot.SectionID, cached, fresh []byte)
+)
+
+// ckptBlob is one cached section encoding, valid while the section's dirty
+// generation stays at gen. Payloads are immutable once encoded: a dirty
+// section gets a fresh blob, never an in-place rewrite, so the writer
+// goroutine can read them without synchronization.
+type ckptBlob struct {
+	payload []byte
+	sum     uint32
+	gen     uint64
+}
+
+// ckptDone is the writer goroutine's completion report: the emitted
+// container's framing checksum (the next delta's BaseSum) or the sink
+// error.
+type ckptDone struct {
+	sum uint32
+	err error
+}
+
+// ckptEnc is the incremental checkpoint encoder: the clean-section cache,
+// the delta-chain cursor (epoch and framing checksum of the previous
+// emitted container), and the in-flight writer handoff.
+type ckptEnc struct {
+	cache     map[snapshot.SectionID]ckptBlob
+	seq       int // checkpoint ordinal of the next emission
+	sinceFull int // deltas emitted since the last full
+	lastEpoch int // epoch of the previous emission; -1 forces the next to be full
+	lastSum   uint32
+	inflight  chan ckptDone // nil when no write is in flight
+}
+
+func newCkptEnc() *ckptEnc {
+	return &ckptEnc{cache: map[snapshot.SectionID]ckptBlob{}, lastEpoch: -1}
+}
+
+// drain blocks until the in-flight checkpoint write (if any) has committed,
+// recording its framing checksum as the next delta's base. A sink error
+// aborts the run here — the same contract the synchronous sink had, just
+// surfaced one barrier later.
+func (ck *ckptEnc) drain() {
+	if ck.inflight == nil {
+		return
+	}
+	d := <-ck.inflight
+	ck.inflight = nil
+	if d.err != nil {
+		panic(fmt.Sprintf("ps: checkpoint sink: %v", d.err))
+	}
+	ck.lastSum = d.sum
+}
+
+// sectionIDs enumerates the sections of the current engine state in
+// canonical order.
+func (e *Engine) sectionIDs() []snapshot.SectionID {
+	nChunks := (len(e.rec.points) + recChunkLen - 1) / recChunkLen
+	ids := make([]snapshot.SectionID, 0, 4+nChunks+len(e.reps))
+	ids = append(ids,
+		snapshot.SectionID{Kind: secMeta},
+		snapshot.SectionID{Kind: secServerW},
+		snapshot.SectionID{Kind: secBN},
+	)
+	if _, ok := e.strategy.(StrategySnapshotter); ok {
+		ids = append(ids, snapshot.SectionID{Kind: secStrategy})
+	}
+	for i := 0; i < nChunks; i++ {
+		ids = append(ids, snapshot.SectionID{Kind: secRecChunk, Index: uint32(i)})
+	}
+	for m := range e.reps {
+		ids = append(ids, snapshot.SectionID{Kind: secWorker, Index: uint32(m)})
+	}
+	return ids
+}
+
+// sectionGen returns the current dirty generation of a section. Meta and
+// strategy sections are never cached (their state moves every barrier), so
+// their generation is irrelevant; recorder chunks use the chunk's point
+// count, which freezes at recChunkLen once the chunk fills.
+func (e *Engine) sectionGen(id snapshot.SectionID) uint64 {
+	switch id.Kind {
+	case secServerW:
+		return e.srvWGen
+	case secBN:
+		return e.bnGen
+	case secRecChunk:
+		n := len(e.rec.points) - int(id.Index)*recChunkLen
+		if n > recChunkLen {
+			n = recChunkLen
+		}
+		return uint64(n)
+	case secWorker:
+		return e.wgen[id.Index]
+	}
+	return 0
+}
+
+// encodeSectionPayload serializes one section into a bare codec stream. All
+// encoders only read engine state — the engine is quiescent at a barrier —
+// so any number may run concurrently.
+func (e *Engine) encodeSectionPayload(id snapshot.SectionID) []byte {
+	var buf bytes.Buffer
+	w := snapshot.NewBareWriter(&buf)
+	switch id.Kind {
+	case secMeta:
+		e.encodeMeta(w)
+	case secServerW:
+		w.F64s(e.srv.w)
+	case secBN:
+		e.srv.bnAcc.SnapshotTo(w)
+	case secStrategy:
+		e.strategy.(StrategySnapshotter).SnapshotState(e, w)
+	case secRecChunk:
+		lo := int(id.Index) * recChunkLen
+		hi := lo + recChunkLen
+		if hi > len(e.rec.points) {
+			hi = len(e.rec.points)
+		}
+		pts := e.rec.points[lo:hi]
+		w.Int(len(pts))
+		for _, p := range pts {
+			w.Int(p.Epoch)
+			w.F64(p.Time)
+			w.F64(p.TrainErr)
+			w.F64(p.TestErr)
+		}
+	case secWorker:
+		e.encodeWorker(w, int(id.Index))
+	default:
+		panic(fmt.Sprintf("ps: unknown checkpoint section kind %d", id.Kind))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("ps: serialize checkpoint section: %v", err)) // in-memory buffer; cannot fail
+	}
+	return buf.Bytes()
+}
+
+// encodeMeta holds everything small that moves every barrier: clock, server
+// scalars, RNG streams, run accounting, the armed scenario timeline, the
+// deferred launches, and the presence/shape flags restore validates the
+// rest of the container against.
+func (e *Engine) encodeMeta(w *snapshot.Writer) {
+	w.Int(len(e.reps))
+	w.F64(e.clock.Now())
+	w.F64(e.srv.lrScale)
+	w.Int(e.srv.batches)
+	w.Int(e.srv.updates)
+	st := e.seedRng.State()
+	w.U64s(st[:])
+	e.sampler.SnapshotTo(w)
+	w.Int(e.stalenessSum)
+	w.Int(e.stalenessN)
+	w.Int(e.maxStale)
+	w.Int(e.scnApplied)
+	w.Int(e.rec.lastEpoch)
+	w.Int(len(e.rec.points))
+
+	// Armed scenario events, in arm order (ascending id), skipping fired
+	// tombstones. Re-arming them in this order on resume reproduces the
+	// clock's FIFO tie-breaking: at the barrier every armed event was
+	// scheduled before any deferred relaunch will be.
+	w.Int(len(e.armed) - e.armedDead)
+	for _, a := range e.armed {
+		if a.dead {
+			continue
+		}
+		writeScnEvent(w, a.ev)
+	}
+
+	// Launches deferred by the drain.
+	w.Ints(e.deferred)
+
+	if e.dec != nil {
+		w.Bool(true)
+		st := e.dec.sel.State()
+		w.U64s(st[:])
+	} else {
+		w.Bool(false)
+	}
+	_, hasStrategy := e.strategy.(StrategySnapshotter)
+	w.Bool(hasStrategy)
+}
+
+// encodeWorker is worker m's section: batch iterator position, fleet
+// membership and connectivity flags, staleness snapshot, recover-opt flag,
+// and (decentralized runs) the worker's persistent model and commit
+// counter. Worker replicas are deliberately absent: every strategy's Launch
+// begins with Pull, which overwrites the replica's parameters, BN
+// statistics and workspace, so at a quiescent boundary the iterator
+// position is the only live replica state.
+func (e *Engine) encodeWorker(w *snapshot.Writer, m int) {
+	e.reps[m].iter.SnapshotTo(w)
+	w.Bool(e.fleet.active[m])
+	w.U64(e.fleet.gen[m])
+	w.Bool(e.fleet.cut[m])
+	w.Bool(e.fleet.parked[m])
+	w.Int(e.snapUpdates[m])
+	w.Bool(e.recoverPend[m])
+	if e.dec != nil {
+		w.F64s(e.dec.w[m])
+		w.Int(e.dec.iter[m])
+	}
+}
+
+// encodePoolSize bounds the section-encode pool: the kernels' shared core
+// budget, capped by GOMAXPROCS and the number of dirty sections, with the
+// test override winning outright.
+func encodePoolSize(n int) int {
+	pool := tensor.MatmulParallelism()
+	if p := runtime.GOMAXPROCS(0); p < pool {
+		pool = p
+	}
+	if ckptPoolSize > 0 {
+		pool = ckptPoolSize
+	}
+	if pool > n {
+		pool = n
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	return pool
+}
+
+// emitCheckpoint runs at the quiescent point of a barrier (takeCheckpoint):
+// drain the previous write, decide full vs delta, re-encode the dirty
+// sections in parallel, and hand the assembled container to a writer
+// goroutine so the simulation resumes while the checkpoint encodes its
+// framing and commits to the sink.
+func (e *Engine) emitCheckpoint() {
+	ck := e.ck
+	ck.drain()
+	full := ck.lastEpoch < 0 || ck.sinceFull >= e.cfg.CheckpointFullEvery-1
+
+	ids := e.sectionIDs()
+	type job struct {
+		id  snapshot.SectionID
+		gen uint64
+	}
+	dirty := make([]job, 0, len(ids))
+	for _, id := range ids {
+		gen := e.sectionGen(id)
+		if b, ok := ck.cache[id]; ok && b.gen == gen {
+			if ckptAudit != nil {
+				ckptAudit(id, b.payload, e.encodeSectionPayload(id))
+			}
+			continue
+		}
+		dirty = append(dirty, job{id: id, gen: gen})
+	}
+
+	payloads := make([][]byte, len(dirty))
+	sums := make([]uint32, len(dirty))
+	encode := func(i int) {
+		payloads[i] = e.encodeSectionPayload(dirty[i].id)
+		sums[i] = snapshot.Checksum(payloads[i])
+	}
+	if pool := encodePoolSize(len(dirty)); pool <= 1 {
+		for i := range dirty {
+			encode(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for p := 0; p < pool; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(dirty) {
+						return
+					}
+					encode(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, j := range dirty {
+		if j.id.Kind == secMeta || j.id.Kind == secStrategy {
+			continue // always dirty; caching them would never hit
+		}
+		ck.cache[j.id] = ckptBlob{payload: payloads[i], sum: sums[i], gen: j.gen}
+	}
+
+	c := &snapshot.Container{Key: ConfigKey(e.cfg), Epoch: e.srv.epoch(), Seq: ck.seq}
+	if full {
+		c.Kind = snapshot.KindFull
+		c.Sections = make([]snapshot.Section, 0, len(ids))
+		di := 0
+		for _, id := range ids {
+			if di < len(dirty) && dirty[di].id == id {
+				c.Sections = append(c.Sections, snapshot.Section{ID: id, Payload: payloads[di], Sum: sums[di]})
+				di++
+			} else {
+				b := ck.cache[id]
+				c.Sections = append(c.Sections, snapshot.Section{ID: id, Payload: b.payload, Sum: b.sum})
+			}
+		}
+	} else {
+		c.Kind = snapshot.KindDelta
+		c.BaseEpoch = ck.lastEpoch
+		c.BaseSum = ck.lastSum
+		c.Sections = make([]snapshot.Section, len(dirty))
+		for i, j := range dirty {
+			c.Sections[i] = snapshot.Section{ID: j.id, Payload: payloads[i], Sum: sums[i]}
+		}
+	}
+
+	hdr := Checkpoint{
+		Epoch:     e.srv.epoch(),
+		Batches:   e.srv.batches,
+		Updates:   e.srv.updates,
+		VirtualMs: e.clock.Now(),
+		Full:      full,
+		BaseEpoch: c.BaseEpoch,
+	}
+	sink := e.env.CheckpointSink
+	done := make(chan ckptDone, 1)
+	ck.inflight = done
+	go func() {
+		data, err := snapshot.EncodeContainer(c)
+		if err == nil {
+			hdr.Data = data
+			err = sink(hdr)
+		}
+		done <- ckptDone{sum: c.Sum, err: err}
+	}()
+
+	ck.seq++
+	ck.lastEpoch = hdr.Epoch
+	if full {
+		ck.sinceFull = 0
+	} else {
+		ck.sinceFull++
+	}
+}

@@ -1,0 +1,177 @@
+package ps
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
+)
+
+// runCapturingRaw executes env and collects the checkpoints exactly as
+// emitted — deltas stay deltas — for tests that compare container bytes.
+func runCapturingRaw(env Env) []Checkpoint {
+	var cks []Checkpoint
+	env.CheckpointSink = func(ck Checkpoint) error {
+		cks = append(cks, ck)
+		return nil
+	}
+	Run(env)
+	return cks
+}
+
+// TestDeltaEncodeMatchesFresh is the dirty-tracking completeness oracle:
+// for every algorithm and churning scenario, every section the cache marks
+// clean at a barrier is re-encoded from the live engine state and must be
+// byte-identical to the cached blob. A mutation site missing a
+// dirty-generation bump fails here — including after a resume, where the
+// cache is seeded from the restored container instead of a local encode.
+func TestDeltaEncodeMatchesFresh(t *testing.T) {
+	defer func() { ckptAudit = nil }()
+	audits := 0
+	scns := append([]*scenario.Scenario{nil}, equivalenceScenarios()...)
+	// The shared equivalence scenarios recover every worker between the tiny
+	// run's two barriers, leaving every section dirty; a worker that dies and
+	// stays dead is what makes its section go clean at the second barrier and
+	// the cache-hit path actually execute.
+	scns = append(scns, &scenario.Scenario{
+		Name:   "dead-worker",
+		Events: []scenario.Event{{At: 40, Kind: scenario.Crash, Worker: 3}},
+	})
+	for _, algo := range allAlgos {
+		for _, scn := range scns {
+			m := 4
+			if algo == SGD {
+				m = 1
+			}
+			name := "none"
+			if scn != nil {
+				name = scn.Name
+			}
+			label := string(algo) + "/" + name
+			ckptAudit = func(id snapshot.SectionID, cached, fresh []byte) {
+				audits++
+				if !bytes.Equal(cached, fresh) {
+					t.Errorf("%s: section (%d,%d) marked clean but its state moved: cached %d bytes, fresh %d",
+						label, id.Kind, id.Index, len(cached), len(fresh))
+				}
+			}
+			full, cks := runCapturing(ckptEnv(algo, m, 3, BackendSequential, scn))
+			if len(cks) == 0 {
+				t.Fatalf("%s: no checkpoints emitted", label)
+			}
+			res, err := Resume(ckptEnv(algo, m, 3, BackendSequential, scn), cks[0].Data)
+			if err != nil {
+				t.Fatalf("%s: resume under audit: %v", label, err)
+			}
+			assertResultsEqual(t, label+"/audited-resume", full, res)
+		}
+	}
+	if audits == 0 {
+		t.Fatal("audit hook never fired; no section was ever clean and the oracle is dead")
+	}
+}
+
+// TestParallelEncodeByteIdentity pins that the emitted container bytes are
+// independent of the encode pool size: each section's encoding reads only
+// frozen state, and the container orders sections canonically, so a
+// pool-of-8 encode must equal the single-threaded one bit for bit.
+func TestParallelEncodeByteIdentity(t *testing.T) {
+	defer func() { ckptPoolSize = 0 }()
+	for _, algo := range []Algo{LCASGD, ADPSGD} {
+		capture := func(pool int) []Checkpoint {
+			ckptPoolSize = pool
+			return runCapturingRaw(ckptEnv(algo, 4, 3, BackendSequential, nil))
+		}
+		one := capture(1)
+		many := capture(8)
+		if len(one) == 0 || len(one) != len(many) {
+			t.Fatalf("%s: %d vs %d checkpoints across pool sizes", algo, len(one), len(many))
+		}
+		for i := range one {
+			if !bytes.Equal(one[i].Data, many[i].Data) {
+				t.Fatalf("%s: checkpoint %d differs between pool 1 and pool 8", algo, i)
+			}
+		}
+	}
+}
+
+// TestDeltaChainMaterializesToFullRunBytes is the delta format's byte-level
+// contract: a run emitting deltas, materialized link by link, produces at
+// every barrier exactly the container a CheckpointFullEvery=1 run of the
+// same config emits. (The cadence is excluded from ConfigKey, so the two
+// runs share one trajectory.)
+func TestDeltaChainMaterializesToFullRunBytes(t *testing.T) {
+	for _, algo := range []Algo{LCASGD, ADPSGD} {
+		capture := func(fullEvery int) []Checkpoint {
+			env := ckptEnv(algo, 4, 4, BackendSequential, nil)
+			env.Cfg.CheckpointFullEvery = fullEvery
+			return runCapturingRaw(env)
+		}
+		fulls := capture(1)
+		chain := capture(8)
+		if len(fulls) != len(chain) || len(fulls) < 3 {
+			t.Fatalf("%s: %d vs %d checkpoints; need ≥3 to cover a multi-delta chain", algo, len(fulls), len(chain))
+		}
+		var links [][]byte
+		sawDelta := false
+		for i, ck := range chain {
+			if !fulls[i].Full {
+				t.Fatalf("%s: CheckpointFullEvery=1 emitted a delta at %d", algo, i)
+			}
+			if ck.Full {
+				links = links[:0]
+			} else {
+				sawDelta = true
+			}
+			links = append(links, ck.Data)
+			got := ck.Data
+			if !ck.Full {
+				var err error
+				got, err = snapshot.Materialize(links...)
+				if err != nil {
+					t.Fatalf("%s: materialize chain at %d: %v", algo, i, err)
+				}
+			}
+			if !bytes.Equal(got, fulls[i].Data) {
+				t.Fatalf("%s: checkpoint %d: materialized chain differs from the direct full encode", algo, i)
+			}
+		}
+		if !sawDelta {
+			t.Fatalf("%s: chain run emitted no deltas", algo)
+		}
+	}
+}
+
+// TestResumeRejectsBareDelta: a delta container is not restorable on its
+// own; Resume must refuse it with a chain error instead of restoring a
+// partial state.
+func TestResumeRejectsBareDelta(t *testing.T) {
+	cks := runCapturingRaw(ckptEnv(ASGD, 4, 3, BackendSequential, nil))
+	var delta *Checkpoint
+	for i := range cks {
+		if !cks[i].Full {
+			delta = &cks[i]
+			break
+		}
+	}
+	if delta == nil {
+		t.Fatal("run emitted no delta checkpoints")
+	}
+	if _, err := Resume(ckptEnv(ASGD, 4, 3, BackendSequential, nil), delta.Data); !errors.Is(err, snapshot.ErrNotFull) {
+		t.Fatalf("resuming a bare delta: %v", err)
+	}
+}
+
+// TestFullCadenceExcludedFromConfigKey: full-vs-delta cadence is encoding
+// policy, not trajectory — a run may checkpoint with one cadence and resume
+// with another, so it must not fork the run's identity.
+func TestFullCadenceExcludedFromConfigKey(t *testing.T) {
+	base := tinyEnvSeeded(ASGD, 4, 3).Cfg
+	c := base
+	c.CheckpointFullEvery = 3
+	if ConfigKey(c) != ConfigKey(base) {
+		t.Fatal("CheckpointFullEvery changed the config key; persistence policy must not fork runs")
+	}
+}

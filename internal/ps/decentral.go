@@ -126,6 +126,7 @@ func (e *Engine) PullLocal(m int) {
 	if w := e.waits[m]; w != nil {
 		w()
 	}
+	e.wgen[m]++ // iterator advances before the next barrier; RecoverOpt may rewrite w[m]
 	d := e.dec
 	if e.recoverPend[m] {
 		e.recoverPend[m] = false
@@ -153,6 +154,7 @@ func (e *Engine) PullLocal(m int) {
 // the stream position is a pure function of commit order.
 func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 	d := e.dec
+	e.wgen[m]++ // local model and commit counter mutate below
 	var partner int
 	if e.fleet.activeN == len(e.reps) && e.fleet.cutN == 0 {
 		// No-churn fast path: with every worker active and uncut the
@@ -167,6 +169,7 @@ func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 		})
 	}
 	if partner >= 0 {
+		e.wgen[partner]++ // the averaging rewrites the partner's model too
 		// Decentralized staleness: how many commits ahead the averaged
 		// neighbor is. No sample when the worker steps alone — there is no
 		// exchange to measure.
@@ -244,6 +247,7 @@ func (e *Engine) refreshConsensus() {
 	if n == 0 {
 		return
 	}
+	e.srvWGen++
 	w := e.srv.w
 	inv := 1 / float64(n)
 	for i, s := range e.dec.csum {

@@ -70,6 +70,19 @@ type Engine struct {
 	deferred    []int
 	deferredSet []bool
 
+	// Dirty generations for incremental checkpoints (ckptfast.go): wgen[m]
+	// bumps whenever worker m's serialized section can change before the
+	// next barrier (Pull/PullLocal, gossip, fleet transitions), srvWGen on
+	// every server weight mutation, bnGen on every BN fold. The checkpoint
+	// encoder re-encodes a section only when its generation moved since the
+	// cached blob; a missed bump is a correctness bug (stale checkpoint
+	// bytes), a spurious one merely re-encodes — so transition sites bump
+	// eagerly. ck is the delta/parallel/off-loop encoder state itself.
+	wgen    []uint64
+	srvWGen uint64
+	bnGen   uint64
+	ck      *ckptEnc
+
 	// Last-checkpoint server state for Config.RecoverOpt: a recovered
 	// worker flagged in recoverPend restarts from this snapshot instead of
 	// pulling the live server (see Pull).
@@ -132,6 +145,8 @@ func newEngine(env Env, st Strategy) *Engine {
 		nextCkpt:    cfg.CheckpointEvery,
 		deferredSet: make([]bool, M),
 		recoverPend: make([]bool, M),
+		wgen:        make([]uint64, M),
+		ck:          newCkptEnc(),
 	}
 	e.rec = newRecorder(env, modelSeed, backend)
 	return e
@@ -161,6 +176,10 @@ func (e *Engine) loop() Result {
 			e.takeCheckpoint()
 		}
 	}
+	// The run may still have a checkpoint write in flight (the writer
+	// goroutine overlaps the simulation); it must commit — or its error
+	// surface — before the run reports success.
+	e.ck.drain()
 	e.anchorConsensus()
 	points := e.rec.finish(e.srv, e.clock.Now())
 	res := Result{
@@ -199,10 +218,16 @@ func (e *Engine) launch(m int) {
 		// server it can never reach, so it parks. A decentralized worker
 		// keeps training its own model regardless — its commits land
 		// locally — so it never parks.
-		e.fleet.parked[m] = true
+		if !e.fleet.parked[m] {
+			e.fleet.parked[m] = true
+			e.wgen[m]++
+		}
 		return
 	}
-	e.fleet.parked[m] = false
+	if e.fleet.parked[m] {
+		e.fleet.parked[m] = false
+		e.wgen[m]++
+	}
 	e.strategy.Launch(e, m)
 }
 
@@ -283,6 +308,7 @@ func (e *Engine) Pull(m int) {
 	if w := e.waits[m]; w != nil {
 		w()
 	}
+	e.wgen[m]++ // snapshot counter moves now; the iterator advances before the next barrier
 	if e.recoverPend[m] {
 		e.recoverPend[m] = false
 		if e.ckptW != nil {
@@ -350,6 +376,7 @@ func (e *Engine) FoldStats(m int) {
 	if e.dec == nil && e.fleet.cut[m] {
 		return
 	}
+	e.bnGen++
 	e.srv.bnAcc.Update(e.reps[m].stats())
 }
 
@@ -379,6 +406,7 @@ func (e *Engine) Commit(m int, grad []float64, batches int) {
 // strategies use Commit instead. Crossing a checkpoint-barrier epoch here
 // arms the quiescent drain (see checkpoint.go).
 func (e *Engine) Apply(grad []float64, batches int) {
+	e.srvWGen++
 	e.srv.apply(grad, batches)
 	e.rec.maybeRecord(e.srv, e.clock.Now(), false)
 	if e.nextCkpt > 0 && e.srv.epoch() >= e.nextCkpt && !e.srv.done() {

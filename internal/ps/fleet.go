@@ -110,6 +110,7 @@ func (e *Engine) retire(m int) {
 	if e.psBlocked(m) {
 		e.blockedN--
 	}
+	e.wgen[m]++
 	e.fleet.gen[m]++
 	e.fleet.active[m] = false
 	e.fleet.activeN--
@@ -134,6 +135,7 @@ func (e *Engine) retire(m int) {
 // marked it to restart from the last checkpoint instead — see Pull). Must
 // only be called on an inactive worker.
 func (e *Engine) admit(m int) {
+	e.wgen[m]++ // covers recoverPend set just before a Recover-driven admit too
 	e.fleet.active[m] = true
 	e.fleet.activeN++
 	if e.psBlocked(m) {
@@ -351,6 +353,7 @@ func (e *Engine) applyScenarioEvent(ev scenario.Event) {
 		if e.fleet.cut[ev.Worker] {
 			return
 		}
+		e.wgen[ev.Worker]++
 		e.fleet.cut[ev.Worker] = true
 		e.fleet.cutN++
 		if e.psBlocked(ev.Worker) {
@@ -360,6 +363,7 @@ func (e *Engine) applyScenarioEvent(ev scenario.Event) {
 		if !e.fleet.cut[ev.Worker] {
 			return
 		}
+		e.wgen[ev.Worker]++
 		if e.psBlocked(ev.Worker) {
 			e.blockedN--
 		}

@@ -131,6 +131,15 @@ type Config struct {
 	// un-checkpointed one, so the cadence is part of ConfigKey.
 	CheckpointEvery int
 
+	// CheckpointFullEvery makes every K-th checkpoint a self-contained full
+	// snapshot; the checkpoints between them are deltas holding only the
+	// sections dirtied since the previous checkpoint, chained onto it (see
+	// ckptfast.go). 1 makes every checkpoint full; 0 means the default (8).
+	// Unlike CheckpointEvery this is pure persistence policy — the barrier
+	// timeline and every result bit are identical for any value — so it is
+	// excluded from ConfigKey, like Backend.
+	CheckpointFullEvery int
+
 	// RecoverOpt changes what a worker re-admitted by a scenario Recover
 	// event pulls first: the last checkpoint's server snapshot (weights, BN
 	// statistics, update counter) instead of fresh server state. The
@@ -167,6 +176,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backend == "" {
 		c.Backend = BackendSequential
+	}
+	if c.CheckpointFullEvery == 0 {
+		c.CheckpointFullEvery = 8
 	}
 	return c
 }
@@ -232,6 +244,9 @@ func Run(env Env) Result {
 	}
 	if cfg.CheckpointEvery < 0 {
 		panic(fmt.Sprintf("ps: negative CheckpointEvery %d", cfg.CheckpointEvery))
+	}
+	if cfg.CheckpointFullEvery < 0 {
+		panic(fmt.Sprintf("ps: negative CheckpointFullEvery %d", cfg.CheckpointFullEvery))
 	}
 	if cfg.Scenario != nil {
 		if err := cfg.Scenario.Validate(); err != nil {

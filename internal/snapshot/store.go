@@ -119,12 +119,17 @@ func (r *RunDir) Dir() string { return r.dir }
 func (r *RunDir) Key() string { return r.key }
 
 // CkptMeta describes a stored checkpoint without decoding its payload.
+// Full/BaseEpoch mirror the container's chain fields (container.go): a
+// delta checkpoint is only restorable together with its base chain, which
+// resume logic walks via BaseEpoch and prune refuses to break.
 type CkptMeta struct {
 	Key       string  `json:"key"` // full config hash, for collision detection
 	Epoch     int     `json:"epoch"`
 	Batches   int     `json:"batches"`
 	Updates   int     `json:"updates"`
 	VirtualMs float64 `json:"virtual_ms"`
+	Full      bool    `json:"full"`       // self-contained snapshot vs delta
+	BaseEpoch int     `json:"base_epoch"` // delta only: epoch of the previous link
 }
 
 // WriteConfig stores the run's configuration document (overwriting — the
@@ -156,14 +161,41 @@ func (r *RunDir) SaveCheckpoint(data []byte, meta CkptMeta) error {
 // prune removes checkpoints beyond the newest keep, metadata first so a
 // concurrent reader never finds a meta whose payload is gone for good, then
 // any orphaned payloads left by an earlier crash.
+//
+// Retention is chain-closed: a retained delta checkpoint keeps its whole
+// base chain (walked via CkptMeta.BaseEpoch down to a full snapshot) alive
+// even when the bases fall outside the newest keep — deleting a base would
+// silently make every delta above it unrestorable, which is exactly the
+// corruption -ckpt-keep exists to survive.
 func (r *RunDir) prune() error {
 	metas, err := r.Checkpoints()
 	if err != nil {
 		return err
 	}
-	live := map[string]bool{}
+	byEpoch := make(map[int]CkptMeta, len(metas))
+	for _, m := range metas {
+		byEpoch[m.Epoch] = m
+	}
+	keep := map[int]bool{}
 	for i, m := range metas {
-		if i < r.keep {
+		if i >= r.keep {
+			break
+		}
+		for !keep[m.Epoch] {
+			keep[m.Epoch] = true
+			if m.Full {
+				break
+			}
+			base, ok := byEpoch[m.BaseEpoch]
+			if !ok {
+				break // broken chain; resume falls back past it
+			}
+			m = base
+		}
+	}
+	live := map[string]bool{}
+	for _, m := range metas {
+		if keep[m.Epoch] {
 			live[ckptBase(m.Epoch)] = true
 			continue
 		}
@@ -239,6 +271,56 @@ func (r *RunDir) LoadCheckpointAt(epoch int) ([]byte, CkptMeta, error) {
 	return data, meta, nil
 }
 
+// LoadChain returns the checkpoint stored at epoch as a self-contained
+// container: a full snapshot loads directly, a delta loads together with
+// its base chain — walked via CkptMeta.BaseEpoch down to a full — and is
+// replayed through Materialize. Any missing or unreadable link fails the
+// whole load (the caller is expected to fall back to an older epoch via
+// Checkpoints), as does a meta chain that never reaches a full snapshot.
+func (r *RunDir) LoadChain(epoch int) ([]byte, CkptMeta, error) {
+	var (
+		links   [][]byte
+		topMeta CkptMeta
+	)
+	seen := map[int]bool{}
+	for at := epoch; ; {
+		if seen[at] {
+			return nil, topMeta, fmt.Errorf("snapshot: checkpoint chain at epoch %d loops", epoch)
+		}
+		seen[at] = true
+		data, meta, err := r.LoadCheckpointAt(at)
+		if err != nil {
+			return nil, topMeta, err
+		}
+		if len(links) == 0 {
+			topMeta = meta
+		}
+		links = append(links, data)
+		if meta.Full {
+			break
+		}
+		at = meta.BaseEpoch
+	}
+	if len(links) == 1 {
+		// A lone full still gets verified here: the meta sidecar promised
+		// Full, but only the container's own checksums prove the bytes are
+		// intact, and the caller's fall-back decision happens at this load.
+		c, err := DecodeContainer(links[0])
+		if err != nil {
+			return nil, topMeta, err
+		}
+		if c.Kind != KindFull {
+			return nil, topMeta, ErrNotFull
+		}
+		return links[0], topMeta, nil
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	data, err := Materialize(links...)
+	return data, topMeta, err
+}
+
 // LoadCheckpoint returns the newest stored checkpoint whose payload is
 // readable, or ErrNoCheckpoint when the run has none. Key collisions are
 // surfaced as errors. Deeper validation (codec checksum, config key) is the
@@ -296,6 +378,16 @@ func writeJSONAtomic(path string, v any) error {
 
 // writeFileAtomic writes data to path via a temp file + rename so readers
 // never observe a partial artifact.
+//
+// Crash ordering: the temp file is fsync'd *before* the rename (so the
+// rename can never publish a name whose blocks are still unwritten — on a
+// power cut that ordering is what distinguishes "old artifact" from
+// "truncated garbage under the final name"), and the parent directory is
+// fsync'd *after* it (the rename itself lives in the directory, so until
+// the dirent is durable a crash right after commit could lose the file
+// entirely even though its data blocks survived). Result: at every crash
+// point the final name holds either the complete previous artifact or the
+// complete new one, durably.
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
@@ -308,6 +400,11 @@ func writeFileAtomic(path string, data []byte) error {
 		os.Remove(name)
 		return fmt.Errorf("snapshot: write %s: %w", filepath.Base(path), err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("snapshot: sync %s: %w", filepath.Base(path), err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("snapshot: close %s: %w", filepath.Base(path), err)
@@ -315,6 +412,20 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making its entries (a just-committed rename)
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: sync dir %s: %w", filepath.Base(dir), err)
 	}
 	return nil
 }

@@ -27,6 +27,12 @@ func SetMatmulParallelism(n int) int {
 	return int(maxProcs.Swap(int64(n)))
 }
 
+// MatmulParallelism returns the current goroutine cap. Other bounded pools
+// that must share the machine with the kernels — the sweep scheduler sizes
+// this cap to GOMAXPROCS/jobs, and the checkpoint encoder sizes itself off
+// it — read their core budget here.
+func MatmulParallelism() int { return int(maxProcs.Load()) }
+
 // parallelRowThreshold is the minimum amount of scalar work before MatMul
 // spawns goroutines; below it the goroutine overhead dominates.
 const parallelRowThreshold = 64 * 64 * 64

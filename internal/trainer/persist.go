@@ -1,7 +1,6 @@
 package trainer
 
 import (
-	"errors"
 	"fmt"
 
 	"lcasgd/internal/ps"
@@ -87,6 +86,7 @@ func runCellPersisted(p Profile, env ps.Env) ps.Result {
 	env.CheckpointSink = func(ck ps.Checkpoint) error {
 		return rd.SaveCheckpoint(ck.Data, snapshot.CkptMeta{
 			Epoch: ck.Epoch, Batches: ck.Batches, Updates: ck.Updates, VirtualMs: ck.VirtualMs,
+			Full: ck.Full, BaseEpoch: ck.BaseEpoch,
 		})
 	}
 
@@ -105,12 +105,13 @@ func runCellPersisted(p Profile, env ps.Env) ps.Result {
 }
 
 // resumeFromCheckpoint attempts case 2 of the lifecycle, trying stored
-// checkpoints newest-first: a checkpoint that reads or decodes badly
-// (corrupted file, changed binary semantics) falls back to the next-older
-// one (Profile.CkptKeep retains more than the latest), and only when every
-// stored checkpoint fails does the cell fall back to a full re-run rather
-// than aborting the sweep. A key-collision error still aborts: that is a
-// store-integrity problem, not a corrupt artifact.
+// checkpoints newest-first: a checkpoint whose delta chain reads or decodes
+// badly (corrupted link, missing base, changed binary semantics) falls back
+// to the next-older one (Profile.CkptKeep retains more than the latest),
+// and only when every stored checkpoint fails does the cell fall back to a
+// full re-run rather than aborting the sweep. A delta whose base is broken
+// and the base itself both fail here, so the fallback lands on the newest
+// intact full checkpoint.
 func resumeFromCheckpoint(p Profile, env ps.Env, rd *snapshot.RunDir) (ps.Result, bool) {
 	if !p.Resume || env.Cfg.CheckpointEvery <= 0 {
 		return ps.Result{}, false
@@ -120,12 +121,12 @@ func resumeFromCheckpoint(p Profile, env ps.Env, rd *snapshot.RunDir) (ps.Result
 		panic(fmt.Sprintf("trainer: experiment store: %v", err))
 	}
 	for _, meta := range metas {
-		data, _, err := rd.LoadCheckpointAt(meta.Epoch)
+		data, _, err := rd.LoadChain(meta.Epoch)
 		if err != nil {
-			if errors.Is(err, snapshot.ErrNoCheckpoint) {
-				continue
-			}
-			panic(fmt.Sprintf("trainer: experiment store: %v", err))
+			// Any chain failure — a missing or truncated link, a checksum
+			// mismatch, a base that predates retention — just disqualifies
+			// this checkpoint; an older one may still be whole.
+			continue
 		}
 		res, err := ps.Resume(env, data)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"lcasgd/internal/core"
+	"lcasgd/internal/data"
 	"lcasgd/internal/ps"
 	"lcasgd/internal/scenario"
 	"lcasgd/internal/snapshot"
@@ -73,8 +74,33 @@ func TestPersistedCellLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(metas) != 1 { // default retention keeps only the newest barrier
-		t.Fatalf("run dir retains %d checkpoints, want 1: %+v", len(metas), metas)
+	// Default retention keeps the newest barrier plus — now that checkpoints
+	// are delta chains — the links that barrier is based on, and nothing
+	// beyond them.
+	if len(metas) == 0 {
+		t.Fatal("run dir retains no checkpoints")
+	}
+	need := map[int]bool{metas[0].Epoch: true}
+	for at := metas[0]; !at.Full; {
+		need[at.BaseEpoch] = true
+		found := false
+		for _, m := range metas {
+			if m.Epoch == at.BaseEpoch {
+				at, found = m, true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("newest checkpoint's chain needs epoch %d, which retention dropped: %+v", at.BaseEpoch, metas)
+		}
+	}
+	for _, m := range metas {
+		if !need[m.Epoch] {
+			t.Fatalf("retention kept epoch %d beyond the newest chain: %+v", m.Epoch, metas)
+		}
+	}
+	if _, _, err := rd.LoadChain(metas[0].Epoch); err != nil {
+		t.Fatalf("newest retained chain does not load: %v", err)
 	}
 
 	// Completed + resume: the stored result is returned as-is. Proven by
@@ -160,6 +186,70 @@ func TestResumeFallsBackPastCorruptNewestCheckpoint(t *testing.T) {
 	pr.CkptKeep = 2
 	resumed := RunCell(pr, ps.ASGD, 4, core.BNAsync, 1)
 	assertSameResult(t, "fallback-resume", orig, resumed)
+}
+
+// TestResumeSurvivesMidChainCorruption: with delta checkpoints, a truncated
+// chain head AND a bit-flipped base full must both be detected and skipped;
+// resume then walks back (-ckpt-keep retains the history) to the newest
+// checkpoint whose whole chain is intact and still reproduces the
+// uninterrupted answer bit for bit — via a checkpoint, not a full re-run.
+func TestResumeSurvivesMidChainCorruption(t *testing.T) {
+	dir := t.TempDir()
+	p := persistProfile(t, dir, false)
+	p.Epochs = 6
+	p.CkptKeep = 8
+	p.CkptFullEvery = 3 // barriers 1..5 → full, delta, delta, full, delta
+
+	orig := RunCell(p, ps.ASGD, 4, core.BNAsync, 1)
+	key := ps.ConfigKey(cellConfig(p, ps.ASGD, 4, core.BNAsync, 1))
+	rd, err := p.Store.Run(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := rd.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) < 3 || metas[0].Full {
+		t.Fatalf("scenario needs a delta head with history behind it, got %+v", metas)
+	}
+	head, base := metas[0].Epoch, metas[0].BaseEpoch
+
+	corrupt := func(epoch int, mangle func([]byte) []byte) {
+		name := filepath.Join(rd.Dir(), fmt.Sprintf("ckpt-%08d.bin", epoch))
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(name, mangle(b), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt(head, func(b []byte) []byte { return b[:len(b)/2] }) // truncation
+	corrupt(base, func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b })
+
+	// Both poisoned chains must fail closed, not materialize garbage.
+	if _, _, err := rd.LoadChain(head); err == nil {
+		t.Fatal("truncated chain head still loads")
+	}
+	if _, _, err := rd.LoadChain(base); err == nil {
+		t.Fatal("bit-flipped base full still loads")
+	}
+
+	if err := os.Remove(filepath.Join(rd.Dir(), "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	pr := persistProfile(t, dir, true)
+	pr.Epochs = 6
+	pr.CkptKeep = 8
+	pr.CkptFullEvery = 3
+	train, test := data.GenerateCached(pr.Data)
+	env := ps.Env{Train: train, Test: test, Build: pr.Model.Build, Cfg: cellConfig(pr, ps.ASGD, 4, core.BNAsync, 1)}
+	res, ran := resumeFromCheckpoint(pr, env, rd)
+	if !ran {
+		t.Fatal("resume fell back to a full re-run instead of the older intact chain")
+	}
+	assertSameResult(t, "mid-chain-corruption", orig, res)
 }
 
 // TestRenderMode: render-mode cells return the persisted result without

@@ -89,6 +89,12 @@ type Profile struct {
 	// Keeping more lets resume fall back past a corrupted latest checkpoint.
 	CkptKeep int
 
+	// CkptFullEvery is the self-contained checkpoint cadence (cmd/lcexp
+	// -ckpt-full-every): every CkptFullEvery-th persisted checkpoint is a
+	// full snapshot, the ones between are deltas chained onto it. 0 means
+	// ps's default (8); 1 makes every checkpoint full.
+	CkptFullEvery int
+
 	// Render makes every cell load its persisted result from the Store
 	// instead of computing anything (cmd/lcexp -render): figures and tables
 	// re-render from a completed sweep's artifacts. A cell whose result is
@@ -160,24 +166,25 @@ func FullImageNet() Profile {
 // cellConfig assembles the ps.Config for one experiment cell.
 func cellConfig(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64) ps.Config {
 	return ps.Config{
-		Algo:            algo,
-		Workers:         workers,
-		BatchSize:       p.Batch,
-		Epochs:          p.Epochs,
-		LR:              p.LR,
-		Lambda:          p.Lambda,
-		DCLambda:        p.DCLam,
-		WeightDecay:     p.WD,
-		BNMode:          bnMode,
-		BNDecay:         p.BNDecay,
-		Seed:            seed,
-		Cost:            p.Cost,
-		LossPredHidden:  p.LossPredHidden,
-		StepPredHidden:  p.StepPredHidden,
-		Backend:         p.Backend,
-		Scenario:        p.Scenario,
-		Topology:        p.Topology,
-		CheckpointEvery: p.CkptEvery,
+		Algo:                algo,
+		Workers:             workers,
+		BatchSize:           p.Batch,
+		Epochs:              p.Epochs,
+		LR:                  p.LR,
+		Lambda:              p.Lambda,
+		DCLambda:            p.DCLam,
+		WeightDecay:         p.WD,
+		BNMode:              bnMode,
+		BNDecay:             p.BNDecay,
+		Seed:                seed,
+		Cost:                p.Cost,
+		LossPredHidden:      p.LossPredHidden,
+		StepPredHidden:      p.StepPredHidden,
+		Backend:             p.Backend,
+		Scenario:            p.Scenario,
+		Topology:            p.Topology,
+		CheckpointEvery:     p.CkptEvery,
+		CheckpointFullEvery: p.CkptFullEvery,
 	}
 }
 
