@@ -52,6 +52,17 @@
 // Decentralized runs: -topology picks the gossip graph AD-PSGD cells
 // communicate on (ring, complete, star, seeded random gossip, or an
 // explicit edge list); parameter-server algorithms ignore it.
+//
+// Telemetry: -trace-out writes a Chrome trace-event timeline of every cell
+// the invocation computed — one process group per cell, one lane per worker
+// plus a run lane, loadable in Perfetto or chrome://tracing — and
+// -metrics-out dumps each cell's metrics registry (staleness and barrier
+// histograms, per-worker commit/drop/gossip counts, gauge series sampled at
+// eval boundaries, wall-clock checkpoint cost meters) as JSON, or CSV when
+// the path ends in .csv. Both are deterministic renderings of the simulated
+// clock: identical bytes at any -jobs value and with or without -parallel
+// (only the "measured" wall-clock section varies across hosts). Incompatible
+// with -render, which computes nothing.
 package main
 
 import (
@@ -97,6 +108,8 @@ func main() {
 		ckptEvery     = flag.Int("ckpt-every", 1, "checkpoint barrier cadence in epochs for persisted runs (with -ckpt-dir)")
 		ckptKeep      = flag.Int("ckpt-keep", 1, "checkpoints to retain per persisted run; keeping more lets -resume fall back past a corrupted latest one")
 		ckptFullEvery = flag.Int("ckpt-full-every", 8, "every K-th persisted checkpoint is a self-contained full snapshot; the ones between are deltas chained onto it (1 = every checkpoint full)")
+		traceOut      = flag.String("trace-out", "", "write a Chrome trace-event timeline (Perfetto-loadable) of every computed cell to this file")
+		metricsOut    = flag.String("metrics-out", "", "write every computed cell's metrics registry to this file (.csv for CSV, JSON otherwise)")
 		resume        = flag.Bool("resume", false, "with -ckpt-dir: skip completed runs, resume interrupted ones from their last checkpoint")
 		render        = flag.Bool("render", false, "with -ckpt-dir: re-render figures and tables from persisted results without recomputing")
 		recoverOpt    = flag.Bool("recover-opt", false, "robust: add variant rows where recovered workers restore the last checkpoint instead of pulling fresh state")
@@ -142,6 +155,12 @@ func main() {
 				*topo, span-1, smallest, span)
 			os.Exit(2)
 		}
+	}
+	if (*traceOut != "" || *metricsOut != "") && *render {
+		// Render cells load persisted results without running the engine, so
+		// there is nothing to trace; failing beats writing an empty artifact.
+		fmt.Fprintln(os.Stderr, "lcexp: -trace-out/-metrics-out cannot be combined with -render: rendered cells compute nothing, so there is no telemetry to record")
+		os.Exit(2)
 	}
 	if *render {
 		// Render cells never compute, so cell-level parallelism buys nothing —
@@ -249,13 +268,29 @@ func main() {
 	imagenet.Topology = *topo
 	if *verbose {
 		// Progress goes to stderr so stdout artifacts (tables, charts, CSV)
-		// stay byte-identical with and without -v.
-		progress := func(done, total int, elapsed time.Duration) {
-			fmt.Fprintf(os.Stderr, "lcexp: cells %d/%d, elapsed %s\n",
+		// stay byte-identical with and without -v. The ETA is the naive
+		// linear projection elapsed/done × remaining — cells vary in cost, so
+		// it converges as the sweep progresses rather than starting accurate.
+		progress := func(done, total int, elapsed time.Duration, key string) {
+			line := fmt.Sprintf("lcexp: cells %d/%d, elapsed %s",
 				done, total, elapsed.Round(100*time.Millisecond))
+			if done > 0 && done < total {
+				eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+				line += fmt.Sprintf(", eta %s", eta.Round(100*time.Millisecond))
+			}
+			if len(key) >= 12 {
+				line += fmt.Sprintf(", cell %.12s…", key)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 		cifar.Progress = progress
 		imagenet.Progress = progress
+	}
+	var tel *trainer.Telemetry
+	if *traceOut != "" || *metricsOut != "" {
+		tel = trainer.NewTelemetry()
+		cifar.Telemetry = tel
+		imagenet.Telemetry = tel
 	}
 	if store != nil {
 		for _, p := range []*trainer.Profile{&cifar, &imagenet} {
@@ -347,6 +382,25 @@ func main() {
 
 	for _, id := range ids {
 		runExperiment(run, id)
+	}
+
+	if tel != nil {
+		// Written once at the end, atomically: the artifacts cover every cell
+		// the whole invocation computed (cells loaded from the store under
+		// -resume ran no engine and are absent).
+		if *traceOut != "" {
+			if err := tel.WriteTrace(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "lcexp: -trace-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			if err := tel.WriteMetrics(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "lcexp: -metrics-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "lcexp: telemetry recorded for %d cells\n", tel.Cells())
 	}
 }
 

@@ -95,6 +95,7 @@ type StrategySnapshotter interface {
 // prefix. The checkpoint must have been taken under the same ConfigKey;
 // resuming across backends is allowed.
 func Resume(env Env, ckpt []byte) (Result, error) {
+	warnEvalBatchDefault(env)
 	cfg := env.Cfg.withDefaults()
 	env.Cfg = cfg
 	if env.Train == nil || env.Test == nil || env.Build == nil {
@@ -107,6 +108,12 @@ func Resume(env Env, ckpt []byte) (Result, error) {
 	defer e.backend.Close()
 	e.strategy.Setup(e)
 	if err := e.restore(ckpt); err != nil {
+		// Release the recorder's run binding: callers retry a failed resume
+		// against other checkpoints or fall back to a full rerun, and each
+		// attempt must start from a pristine recorder.
+		if env.Telemetry != nil {
+			env.Telemetry.Rollback()
+		}
 		return Result{}, fmt.Errorf("ps: resume: %w", err)
 	}
 	e.relaunchDeferred()
@@ -138,6 +145,14 @@ func (e *Engine) takeCheckpoint() {
 		e.ckptW = append(e.ckptW[:0], e.srv.w...)
 		e.ckptBN = e.srv.bnAcc.Clone()
 		e.ckptUpdates = e.srv.updates
+	}
+	if e.tel != nil {
+		// Trace the barrier before serializing, so the drain span and the
+		// checkpoint instant are inside the snapshot — a resumed run replays
+		// them instead of re-observing them. Emitted whether or not a sink
+		// listens: like the barrier itself, telemetry must not depend on
+		// whether anyone records the bytes.
+		e.telBarrier()
 	}
 	if e.env.CheckpointSink != nil {
 		e.emitCheckpoint()
@@ -202,10 +217,11 @@ func (e *Engine) restore(data []byte) error {
 	// flags (worker count, point count, presence bits) the rest of the
 	// container is validated against.
 	var (
-		now      float64
-		nPoints  int
-		armed    []scenario.Event
-		deferred []int
+		now        float64
+		nPoints    int
+		nTelEvents int
+		armed      []scenario.Event
+		deferred   []int
 	)
 	if err := restoreSection(c, snapshot.SectionID{Kind: secMeta}, func(r *snapshot.Reader) error {
 		if workers := r.Int(); r.Err() == nil && workers != len(e.reps) {
@@ -265,6 +281,20 @@ func (e *Engine) restore(data []byte) error {
 		_, wantStrategy := e.strategy.(StrategySnapshotter)
 		if r.Err() == nil && hasStrategy != wantStrategy {
 			return fmt.Errorf("checkpoint strategy-state presence %v, strategy expects %v", hasStrategy, wantStrategy)
+		}
+		hasTel := r.Bool()
+		if r.Err() == nil && hasTel != (e.tel != nil) {
+			// A mismatch is not restorable: with a recorder attached the
+			// resumed run's telemetry would be missing its prefix, silently
+			// breaking the byte-identity contract. Callers fall back to a
+			// full rerun (the trainer's resume path already does).
+			return fmt.Errorf("checkpoint telemetry presence %v, engine expects %v", hasTel, e.tel != nil)
+		}
+		if hasTel {
+			nTelEvents = r.Int()
+			if r.Err() == nil && nTelEvents < 0 {
+				return fmt.Errorf("checkpoint has negative %d telemetry events", nTelEvents)
+			}
 		}
 		return nil
 	}); err != nil {
@@ -336,6 +366,25 @@ func (e *Engine) restore(data []byte) error {
 			return err
 		}
 	}
+	if e.tel != nil {
+		nTelChunks := telChunks(nTelEvents)
+		nExpected += 1 + nTelChunks
+		if err := restoreSection(c, snapshot.SectionID{Kind: secTelMetrics}, e.restoreTelMetrics); err != nil {
+			return err
+		}
+		e.tel.rec.Events = e.tel.rec.Events[:0]
+		for i := 0; i < nTelChunks; i++ {
+			want := nTelEvents - i*telChunkLen
+			if want > telChunkLen {
+				want = telChunkLen
+			}
+			if err := restoreSection(c, snapshot.SectionID{Kind: secTelTrace, Index: uint32(i)}, func(r *snapshot.Reader) error {
+				return e.restoreTelTrace(r, want)
+			}); err != nil {
+				return err
+			}
+		}
+	}
 	if len(c.Sections) != nExpected {
 		return fmt.Errorf("checkpoint has %d sections, expected %d", len(c.Sections), nExpected)
 	}
@@ -374,7 +423,7 @@ func (e *Engine) restore(data []byte) error {
 	// checksums differ).
 	e.ck.seq = c.Seq + 1
 	for _, s := range c.Sections {
-		if s.ID.Kind == secMeta || s.ID.Kind == secStrategy {
+		if s.ID.Kind == secMeta || s.ID.Kind == secStrategy || s.ID.Kind == secTelMetrics {
 			continue
 		}
 		e.ck.cache[s.ID] = ckptBlob{payload: s.Payload, sum: s.Sum, gen: e.sectionGen(s.ID)}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lcasgd/internal/snapshot"
 	"lcasgd/internal/tensor"
@@ -32,18 +33,24 @@ import (
 // index) is the canonical container order; restore validates that a full
 // container holds exactly the expected set.
 const (
-	secMeta     = 0 // scalars, RNG streams, armed timeline, deferred launches — always dirty
-	secServerW  = 1 // server weight vector; dirty generation srvWGen
-	secBN       = 2 // global BN accumulator; dirty generation bnGen
-	secStrategy = 3 // StrategySnapshotter payload — always dirty (present iff implemented)
-	secRecChunk = 4 // learning-curve points, chunked; generation = points in chunk
-	secWorker   = 5 // per-worker state, indexed by rank; dirty generation wgen[m]
+	secMeta       = 0 // scalars, RNG streams, armed timeline, deferred launches — always dirty
+	secServerW    = 1 // server weight vector; dirty generation srvWGen
+	secBN         = 2 // global BN accumulator; dirty generation bnGen
+	secStrategy   = 3 // StrategySnapshotter payload — always dirty (present iff implemented)
+	secRecChunk   = 4 // learning-curve points, chunked; generation = points in chunk
+	secWorker     = 5 // per-worker state, indexed by rank; dirty generation wgen[m]
+	secTelMetrics = 6 // telemetry instrument registry — always dirty (present iff a recorder is attached)
+	secTelTrace   = 7 // telemetry trace events, chunked; generation = events in chunk
 )
 
 // recChunkLen is the recorder chunk size: full chunks are frozen forever
 // (their generation — the point count — stops moving), so only the last,
 // growing chunk re-encodes at each barrier of a long run.
 const recChunkLen = 64
+
+// telChunkLen is the trace chunk size, same freezing trick as recChunkLen
+// but sized for the trace's much higher event rate.
+const telChunkLen = 256
 
 // Test hooks. ckptPoolSize forces the encode pool size (0 derives it from
 // the shared core budget); ckptAudit, when set, freshly re-encodes every
@@ -67,10 +74,14 @@ type ckptBlob struct {
 
 // ckptDone is the writer goroutine's completion report: the emitted
 // container's framing checksum (the next delta's BaseSum) or the sink
-// error.
+// error, plus the measured emission stats telemetry folds in at drain time
+// (on the event loop — the writer goroutine never touches the recorder).
 type ckptDone struct {
-	sum uint32
-	err error
+	sum     uint32
+	err     error
+	full    bool
+	bytes   int
+	writeMs float64
 }
 
 // ckptEnc is the incremental checkpoint encoder: the clean-section cache,
@@ -90,12 +101,13 @@ func newCkptEnc() *ckptEnc {
 }
 
 // drain blocks until the in-flight checkpoint write (if any) has committed,
-// recording its framing checksum as the next delta's base. A sink error
+// recording its framing checksum as the next delta's base and returning the
+// completion report (ok=false when nothing was in flight). A sink error
 // aborts the run here — the same contract the synchronous sink had, just
 // surfaced one barrier later.
-func (ck *ckptEnc) drain() {
+func (ck *ckptEnc) drain() (ckptDone, bool) {
 	if ck.inflight == nil {
-		return
+		return ckptDone{}, false
 	}
 	d := <-ck.inflight
 	ck.inflight = nil
@@ -103,6 +115,7 @@ func (ck *ckptEnc) drain() {
 		panic(fmt.Sprintf("ps: checkpoint sink: %v", d.err))
 	}
 	ck.lastSum = d.sum
+	return d, true
 }
 
 // sectionIDs enumerates the sections of the current engine state in
@@ -123,6 +136,12 @@ func (e *Engine) sectionIDs() []snapshot.SectionID {
 	}
 	for m := range e.reps {
 		ids = append(ids, snapshot.SectionID{Kind: secWorker, Index: uint32(m)})
+	}
+	if e.tel != nil {
+		ids = append(ids, snapshot.SectionID{Kind: secTelMetrics})
+		for i := 0; i < telChunks(len(e.tel.rec.Events)); i++ {
+			ids = append(ids, snapshot.SectionID{Kind: secTelTrace, Index: uint32(i)})
+		}
 	}
 	return ids
 }
@@ -145,6 +164,12 @@ func (e *Engine) sectionGen(id snapshot.SectionID) uint64 {
 		return uint64(n)
 	case secWorker:
 		return e.wgen[id.Index]
+	case secTelTrace:
+		n := len(e.tel.rec.Events) - int(id.Index)*telChunkLen
+		if n > telChunkLen {
+			n = telChunkLen
+		}
+		return uint64(n)
 	}
 	return 0
 }
@@ -180,6 +205,10 @@ func (e *Engine) encodeSectionPayload(id snapshot.SectionID) []byte {
 		}
 	case secWorker:
 		e.encodeWorker(w, int(id.Index))
+	case secTelMetrics:
+		e.encodeTelMetrics(w)
+	case secTelTrace:
+		e.encodeTelTrace(w, int(id.Index))
 	default:
 		panic(fmt.Sprintf("ps: unknown checkpoint section kind %d", id.Kind))
 	}
@@ -233,6 +262,15 @@ func (e *Engine) encodeMeta(w *snapshot.Writer) {
 	}
 	_, hasStrategy := e.strategy.(StrategySnapshotter)
 	w.Bool(hasStrategy)
+
+	// Telemetry presence and trace length: restore validates the attached
+	// recorder against the former and sizes the chunk walk with the latter.
+	if e.tel != nil {
+		w.Bool(true)
+		w.Int(len(e.tel.rec.Events))
+	} else {
+		w.Bool(false)
+	}
 }
 
 // encodeWorker is worker m's section: batch iterator position, fleet
@@ -283,9 +321,13 @@ func encodePoolSize(n int) int {
 // framing and commits to the sink.
 func (e *Engine) emitCheckpoint() {
 	ck := e.ck
-	ck.drain()
+	e.drainCkpt()
 	full := ck.lastEpoch < 0 || ck.sinceFull >= e.cfg.CheckpointFullEvery-1
 
+	var encStart time.Time
+	if e.tel != nil {
+		encStart = time.Now()
+	}
 	ids := e.sectionIDs()
 	type job struct {
 		id  snapshot.SectionID
@@ -332,10 +374,13 @@ func (e *Engine) emitCheckpoint() {
 		wg.Wait()
 	}
 	for i, j := range dirty {
-		if j.id.Kind == secMeta || j.id.Kind == secStrategy {
+		if j.id.Kind == secMeta || j.id.Kind == secStrategy || j.id.Kind == secTelMetrics {
 			continue // always dirty; caching them would never hit
 		}
 		ck.cache[j.id] = ckptBlob{payload: payloads[i], sum: sums[i], gen: j.gen}
+	}
+	if e.tel != nil {
+		e.tel.encodeMs.Observe(float64(time.Since(encStart).Nanoseconds()) / 1e6)
 	}
 
 	c := &snapshot.Container{Key: ConfigKey(e.cfg), Epoch: e.srv.epoch(), Seq: ck.seq}
@@ -374,12 +419,16 @@ func (e *Engine) emitCheckpoint() {
 	done := make(chan ckptDone, 1)
 	ck.inflight = done
 	go func() {
+		start := time.Now()
 		data, err := snapshot.EncodeContainer(c)
 		if err == nil {
 			hdr.Data = data
 			err = sink(hdr)
 		}
-		done <- ckptDone{sum: c.Sum, err: err}
+		done <- ckptDone{
+			sum: c.Sum, err: err, full: full, bytes: len(data),
+			writeMs: float64(time.Since(start).Nanoseconds()) / 1e6,
+		}
 	}()
 
 	ck.seq++

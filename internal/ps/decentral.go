@@ -3,6 +3,7 @@ package ps
 import (
 	"fmt"
 
+	"lcasgd/internal/telemetry"
 	"lcasgd/internal/topology"
 )
 
@@ -168,12 +169,13 @@ func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 			return e.fleet.active[j] && !e.fleet.cut[j] && !e.fleet.cut[m]
 		})
 	}
+	lag := 0
 	if partner >= 0 {
 		e.wgen[partner]++ // the averaging rewrites the partner's model too
 		// Decentralized staleness: how many commits ahead the averaged
 		// neighbor is. No sample when the worker steps alone — there is no
 		// exchange to measure.
-		lag := d.iter[partner] - d.iter[m]
+		lag = d.iter[partner] - d.iter[m]
 		if lag < 0 {
 			lag = 0
 		}
@@ -182,6 +184,9 @@ func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 			e.maxStale = lag
 		}
 		e.stalenessN++
+		if e.tel != nil {
+			e.tel.staleness.Observe(float64(lag))
+		}
 		// Both models are active, so the averaging's exact stored-value
 		// deltas (zero in exact arithmetic, last-ulp in floats) fold into
 		// the running consensus sum alongside the overwrite.
@@ -214,12 +219,20 @@ func (e *Engine) GossipCommit(m int, grad []float64, batches int) {
 	d.iter[m]++
 	e.srv.updates++
 	e.srv.batches += batches
+	if e.tel != nil {
+		e.tel.gossips.Inc(m)
+		at := e.tel.launchAt[m]
+		e.tel.rec.Emit(telemetry.Event{
+			Kind: telemetry.KGossip, Worker: int32(m),
+			At: at, Dur: e.clock.Now() - at, A: int64(partner), B: int64(lag),
+		})
+	}
 	if e.rec.due(e.srv) {
 		e.refreshConsensus()
 	}
-	e.rec.maybeRecord(e.srv, e.clock.Now(), false)
+	e.recordCurve()
 	if e.nextCkpt > 0 && e.srv.epoch() >= e.nextCkpt && !e.srv.done() {
-		e.quiescing = true
+		e.armQuiesce()
 	}
 	e.launch(m)
 }

@@ -7,6 +7,7 @@ import (
 	"lcasgd/internal/core"
 	"lcasgd/internal/rng"
 	"lcasgd/internal/simclock"
+	"lcasgd/internal/telemetry"
 )
 
 // Engine owns everything a training run shares across algorithms: the
@@ -94,6 +95,11 @@ type Engine struct {
 	// Decentralized-mode state (decentral.go): per-worker persistent
 	// models on a communication graph. Nil for parameter-server runs.
 	dec *decState
+
+	// Telemetry state (telemetry.go): nil unless Env.Telemetry attached a
+	// recorder. Every emission site is nil-guarded, keeping the disabled
+	// hot paths at zero allocations.
+	tel *telState
 }
 
 // newEngine builds the shared preamble the five run* monoliths used to
@@ -149,6 +155,9 @@ func newEngine(env Env, st Strategy) *Engine {
 		ck:          newCkptEnc(),
 	}
 	e.rec = newRecorder(env, modelSeed, backend)
+	if env.Telemetry != nil {
+		e.tel = newTelState(env.Telemetry, M)
+	}
 	return e
 }
 
@@ -179,9 +188,15 @@ func (e *Engine) loop() Result {
 	// The run may still have a checkpoint write in flight (the writer
 	// goroutine overlaps the simulation); it must commit — or its error
 	// surface — before the run reports success.
-	e.ck.drain()
+	e.drainCkpt()
 	e.anchorConsensus()
 	points := e.rec.finish(e.srv, e.clock.Now())
+	if e.tel != nil {
+		// One final gauge row at the run's end state. Both the straight-
+		// through and the resumed run take it at the same quiescent end, so
+		// the series stays byte-identical across a resume.
+		e.telSample()
+	}
 	res := Result{
 		Algo:           e.strategy.Algo(),
 		BNMode:         e.cfg.BNMode,
@@ -227,6 +242,10 @@ func (e *Engine) launch(m int) {
 	if e.fleet.parked[m] {
 		e.fleet.parked[m] = false
 		e.wgen[m]++
+	}
+	if e.tel != nil {
+		e.tel.launchAt[m] = e.clock.Now()
+		e.tel.rec.Emit(telemetry.Event{Kind: telemetry.KLaunch, Worker: int32(m), At: e.clock.Now()})
 	}
 	e.strategy.Launch(e, m)
 }
@@ -332,6 +351,9 @@ func (e *Engine) CopyPulledWeights(m int, dst []float64) { flatten(e.reps[m], ds
 // compensation) on the backend. After wait returns, Gradient(m) and Loss(m)
 // hold the results.
 func (e *Engine) DispatchGradient(m int) (wait func()) {
+	if e.tel != nil {
+		e.tel.rec.Emit(telemetry.Event{Kind: telemetry.KDispatch, Worker: int32(m), At: e.clock.Now(), A: 0})
+	}
 	rep := e.reps[m]
 	wait = e.backend.Dispatch(m, func() { e.loss[m], _ = rep.gradient() })
 	e.waits[m] = wait
@@ -342,6 +364,9 @@ func (e *Engine) DispatchGradient(m int) (wait func()) {
 // returns, Loss(m) holds the batch loss and the replica's BN layers hold
 // their batch statistics.
 func (e *Engine) DispatchForward(m int) (wait func()) {
+	if e.tel != nil {
+		e.tel.rec.Emit(telemetry.Event{Kind: telemetry.KDispatch, Worker: int32(m), At: e.clock.Now(), A: 1})
+	}
 	rep := e.reps[m]
 	wait = e.backend.Dispatch(m, func() { e.loss[m] = rep.forward() })
 	e.waits[m] = wait
@@ -352,6 +377,9 @@ func (e *Engine) DispatchForward(m int) (wait func()) {
 // (Formula 5's compensation enters here). After wait returns, Gradient(m)
 // holds the flat gradient.
 func (e *Engine) DispatchBackward(m int, scale float64) (wait func()) {
+	if e.tel != nil {
+		e.tel.rec.Emit(telemetry.Event{Kind: telemetry.KDispatch, Worker: int32(m), At: e.clock.Now(), A: 2})
+	}
 	rep := e.reps[m]
 	wait = e.backend.Dispatch(m, func() { rep.backward(scale) })
 	e.waits[m] = wait
@@ -388,6 +416,10 @@ func (e *Engine) FoldStats(m int) {
 // again, exactly the wasted work a real partition causes.
 func (e *Engine) Commit(m int, grad []float64, batches int) {
 	if e.fleet.cut[m] {
+		if e.tel != nil {
+			e.tel.drops.Inc(m)
+			e.tel.rec.Emit(telemetry.Event{Kind: telemetry.KDrop, Worker: int32(m), At: e.clock.Now()})
+		}
 		e.launch(m)
 		return
 	}
@@ -397,6 +429,15 @@ func (e *Engine) Commit(m int, grad []float64, batches int) {
 		e.maxStale = st
 	}
 	e.stalenessN++
+	if e.tel != nil {
+		e.tel.staleness.Observe(float64(st))
+		e.tel.commits.Inc(m)
+		at := e.tel.launchAt[m]
+		e.tel.rec.Emit(telemetry.Event{
+			Kind: telemetry.KCommit, Worker: int32(m),
+			At: at, Dur: e.clock.Now() - at, A: int64(st),
+		})
+	}
 	e.Apply(grad, batches)
 	e.launch(m)
 }
@@ -408,9 +449,12 @@ func (e *Engine) Commit(m int, grad []float64, batches int) {
 func (e *Engine) Apply(grad []float64, batches int) {
 	e.srvWGen++
 	e.srv.apply(grad, batches)
-	e.rec.maybeRecord(e.srv, e.clock.Now(), false)
+	if e.tel != nil {
+		e.tel.rec.Emit(telemetry.Event{Kind: telemetry.KUpdate, Worker: -1, At: e.clock.Now()})
+	}
+	e.recordCurve()
 	if e.nextCkpt > 0 && e.srv.epoch() >= e.nextCkpt && !e.srv.done() {
-		e.quiescing = true
+		e.armQuiesce()
 	}
 }
 

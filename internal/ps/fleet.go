@@ -374,5 +374,8 @@ func (e *Engine) applyScenarioEvent(ev scenario.Event) {
 			e.launch(ev.Worker)
 		}
 	}
+	if e.tel != nil {
+		e.telScenarioEvent(ev)
+	}
 	e.scnApplied++
 }

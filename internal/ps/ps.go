@@ -40,6 +40,7 @@ import (
 	"lcasgd/internal/opt"
 	"lcasgd/internal/rng"
 	"lcasgd/internal/scenario"
+	"lcasgd/internal/telemetry"
 )
 
 // Algo identifies a training algorithm.
@@ -151,6 +152,12 @@ type Config struct {
 	RecoverOpt bool
 }
 
+// defaultEvalBatch is the inference batch size withDefaults picks when
+// Config.EvalBatch is zero. Evaluation pads remainder batches up to the
+// batch size (see eval.go), so datasets smaller than this default trip the
+// warning in telemetry.go.
+const defaultEvalBatch = 150
+
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
@@ -160,7 +167,7 @@ func (c Config) withDefaults() Config {
 		c.EvalEvery = 1
 	}
 	if c.EvalBatch == 0 {
-		c.EvalBatch = 150
+		c.EvalBatch = defaultEvalBatch
 	}
 	if c.BNDecay == 0 {
 		c.BNDecay = 0.2
@@ -196,6 +203,17 @@ type Env struct {
 	// A sink error aborts the run (panic): silently dropping checkpoints
 	// would defeat the persistence contract.
 	CheckpointSink func(Checkpoint) error
+
+	// Telemetry, when non-nil, attaches a deterministic observability
+	// recorder to the run: every engine transition is traced and the
+	// metrics registry is populated on the event loop in virtual-clock
+	// order (see internal/telemetry and telemetry.go). Recording is
+	// passive — results are bit-identical with or without it — and a nil
+	// recorder keeps the hot paths at zero allocations. The recorder is
+	// single-run (the engine binds it); under CheckpointEvery its state is
+	// checkpointed and restored, so a resumed run's telemetry is
+	// byte-identical to the uninterrupted run's.
+	Telemetry *telemetry.Recorder
 }
 
 // Point is one sample of the learning curve.
@@ -234,6 +252,7 @@ type Result struct {
 // algorithm is looked up in the strategy registry, so algorithms added via
 // RegisterStrategy run through the same engine as the paper's five.
 func Run(env Env) Result {
+	warnEvalBatchDefault(env)
 	cfg := env.Cfg.withDefaults()
 	env.Cfg = cfg
 	if env.Train == nil || env.Test == nil || env.Build == nil {

@@ -1,0 +1,363 @@
+package ps
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"lcasgd/internal/scenario"
+	"lcasgd/internal/snapshot"
+	"lcasgd/internal/telemetry"
+)
+
+// This file threads the telemetry layer (internal/telemetry) through the
+// engine. Two invariants govern every hook:
+//
+//   - Zero overhead when disabled. The engine holds one nullable pointer
+//     (Engine.tel); every emission site is an `if e.tel != nil` branch and
+//     the enabled-only buffers (launchAt) are not even allocated otherwise,
+//     so the commit/gossip hot paths stay at 0 allocs/op — pinned by
+//     TestCommitZeroAllocSteadyState and BenchmarkTelemetryOverhead.
+//
+//   - Determinism. Every event and deterministic instrument derives from
+//     event-loop state and virtual time only, and the whole telemetry state
+//     (registry + trace) is serialized into checkpoints (sections
+//     secTelMetrics/secTelTrace), so a resumed run's final telemetry bytes
+//     equal the uninterrupted run's. Wall-clock checkpoint costs go to the
+//     recorder's measured meters, which are excluded from both the
+//     byte-identity contract and the checkpoint.
+
+// telState is the engine's telemetry extension: the recorder plus the
+// engine-registered instruments and span bookkeeping. Nil when no recorder
+// is attached.
+type telState struct {
+	rec *telemetry.Recorder
+
+	// launchAt[m] is the virtual time of worker m's last launch — the start
+	// of the commit/gossip span emitted when the iteration lands.
+	launchAt []float64
+	// drainStart is when the current barrier drain armed (quiescing 0→1).
+	drainStart float64
+
+	// Deterministic instruments.
+	staleness *telemetry.Histogram
+	drainMs   *telemetry.Histogram
+	commits   *telemetry.WorkerVec
+	drops     *telemetry.WorkerVec
+	gossips   *telemetry.WorkerVec
+	scnEvents *telemetry.Counter
+	barriers  *telemetry.Counter
+	inflightG *telemetry.Gauge
+	activeG   *telemetry.Gauge
+	cutG      *telemetry.Gauge
+	pendingG  *telemetry.Gauge
+
+	// Measured (wall-clock / emission-policy) meters: not deterministic,
+	// not checkpointed, dumped under a separate "measured" key.
+	encodeMs  *telemetry.Meter
+	writeMs   *telemetry.Meter
+	fullBytes *telemetry.Meter
+	delBytes  *telemetry.Meter
+}
+
+// newTelState binds the recorder to this run and registers the engine's
+// instruments in their fixed order — the order is the checkpoint
+// serialization order, so it is part of the on-disk format.
+func newTelState(rec *telemetry.Recorder, workers int) *telState {
+	rec.Bind()
+	m := rec.Metrics
+	return &telState{
+		rec:       rec,
+		launchAt:  make([]float64, workers),
+		staleness: m.Histogram("staleness", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}),
+		drainMs:   m.Histogram("barrier_drain_ms", []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 1000}),
+		commits:   m.WorkerVec("commits_per_worker", workers),
+		drops:     m.WorkerVec("partition_drops_per_worker", workers),
+		gossips:   m.WorkerVec("gossips_per_worker", workers),
+		scnEvents: m.Counter("scenario_events_applied"),
+		barriers:  m.Counter("checkpoint_barriers"),
+		inflightG: m.Gauge("inflight_events"),
+		activeG:   m.Gauge("active_workers"),
+		cutG:      m.Gauge("cut_workers"),
+		pendingG:  m.Gauge("clock_pending"),
+		encodeMs:  rec.Meter("ckpt_section_encode_wall_ms"),
+		writeMs:   rec.Meter("ckpt_container_write_wall_ms"),
+		fullBytes: rec.Meter("ckpt_full_bytes"),
+		delBytes:  rec.Meter("ckpt_delta_bytes"),
+	}
+}
+
+// recordCurve wraps the recorder's epoch-boundary check and, when a new
+// curve point actually landed, snapshots the queue/fleet gauges into the
+// metrics series at the same boundary — so the series rows line up with the
+// learning curve one-to-one.
+func (e *Engine) recordCurve() {
+	if e.tel == nil {
+		e.rec.maybeRecord(e.srv, e.clock.Now(), false)
+		return
+	}
+	before := len(e.rec.points)
+	e.rec.maybeRecord(e.srv, e.clock.Now(), false)
+	if len(e.rec.points) != before {
+		e.telSample()
+	}
+}
+
+// telSample captures the engine's depth gauges and appends a series row.
+func (e *Engine) telSample() {
+	t := e.tel
+	t.inflightG.Set(float64(e.inflight))
+	t.activeG.Set(float64(e.fleet.activeN))
+	t.cutG.Set(float64(e.fleet.cutN))
+	t.pendingG.Set(float64(e.clock.Pending()))
+	t.rec.Metrics.Sample(e.srv.epoch(), e.clock.Now())
+}
+
+// armQuiesce arms the checkpoint-barrier drain after a server update
+// crossed the barrier epoch, stamping the drain's start exactly once per
+// barrier (commits keep landing while the drain is in progress).
+func (e *Engine) armQuiesce() {
+	if e.tel != nil && !e.quiescing {
+		e.tel.drainStart = e.clock.Now()
+	}
+	e.quiescing = true
+}
+
+// telScenarioEvent traces one applied (non-redundant) timeline event.
+func (e *Engine) telScenarioEvent(ev scenario.Event) {
+	var k telemetry.Kind
+	var a, b int64
+	switch ev.Kind {
+	case scenario.PhaseShift:
+		k = telemetry.KPhaseShift
+		a = int64(ev.CompScale * 1e6)
+		b = int64(ev.CommScale * 1e6)
+	case scenario.Crash:
+		k = telemetry.KCrash
+	case scenario.Recover:
+		k = telemetry.KRecover
+	case scenario.Join:
+		k = telemetry.KJoin
+	case scenario.Leave:
+		k = telemetry.KLeave
+	case scenario.Partition:
+		k = telemetry.KPartition
+	case scenario.Heal:
+		k = telemetry.KHeal
+	default:
+		return
+	}
+	e.tel.scnEvents.Inc()
+	e.tel.rec.Emit(telemetry.Event{Kind: k, Worker: int32(ev.Worker), At: e.clock.Now(), A: a, B: b})
+}
+
+// telBarrier records the barrier-drain span and the checkpoint instant at
+// the quiescent point — before the snapshot serializes, so both events (and
+// the histogram/counter they feed) are inside the checkpoint and a resumed
+// run replays them rather than re-observing them.
+func (e *Engine) telBarrier() {
+	t := e.tel
+	now := e.clock.Now()
+	dur := now - t.drainStart
+	t.drainMs.Observe(dur)
+	t.barriers.Inc()
+	t.rec.Emit(telemetry.Event{Kind: telemetry.KBarrier, Worker: -1, At: t.drainStart, Dur: dur})
+	t.rec.Emit(telemetry.Event{Kind: telemetry.KCheckpoint, Worker: -1, At: now, A: int64(e.srv.epoch())})
+}
+
+// drainCkpt drains the in-flight checkpoint write and folds its measured
+// stats (container bytes, wall write time) into the meters — on the event
+// loop, so the off-loop writer goroutine never touches the recorder.
+func (e *Engine) drainCkpt() {
+	d, ok := e.ck.drain()
+	if ok && e.tel != nil {
+		e.tel.writeMs.Observe(d.writeMs)
+		if d.full {
+			e.tel.fullBytes.Observe(float64(d.bytes))
+		} else {
+			e.tel.delBytes.Observe(float64(d.bytes))
+		}
+	}
+}
+
+// --- checkpoint serialization of the telemetry state ---
+
+// telChunks returns the trace chunk count for n events.
+func telChunks(n int) int { return (n + telChunkLen - 1) / telChunkLen }
+
+// encodeTelMetrics serializes the deterministic instrument registry.
+// Instrument names are included and validated on restore: a mismatch means
+// the checkpoint was written by an engine with a different registration
+// order, which must fail loudly rather than restore values into the wrong
+// instruments.
+func (e *Engine) encodeTelMetrics(w *snapshot.Writer) {
+	m := e.tel.rec.Metrics
+	w.Int(len(m.Counters))
+	for _, c := range m.Counters {
+		w.String(c.Name)
+		w.U64(c.V)
+	}
+	w.Int(len(m.Gauges))
+	for _, g := range m.Gauges {
+		w.String(g.Name)
+		w.F64(g.V)
+	}
+	w.Int(len(m.Hists))
+	for _, h := range m.Hists {
+		w.String(h.Name)
+		w.U64s(h.Counts)
+		w.U64(h.Total)
+		w.F64(h.Sum)
+	}
+	w.Int(len(m.Vecs))
+	for _, v := range m.Vecs {
+		w.String(v.Name)
+		w.U64s(v.N)
+	}
+	w.Int(len(m.Series))
+	for _, s := range m.Series {
+		w.Int(s.Epoch)
+		w.F64(s.AtMs)
+		w.F64s(s.Values)
+	}
+}
+
+// restoreTelMetrics loads the registry back into the engine-registered
+// instruments, by position, validating names and shapes.
+func (e *Engine) restoreTelMetrics(r *snapshot.Reader) error {
+	m := e.tel.rec.Metrics
+	if n := r.Int(); r.Err() == nil && n != len(m.Counters) {
+		return fmt.Errorf("telemetry snapshot has %d counters, engine registers %d", n, len(m.Counters))
+	}
+	for _, c := range m.Counters {
+		if name := r.String(); r.Err() == nil && name != c.Name {
+			return fmt.Errorf("telemetry counter %q, engine expects %q", name, c.Name)
+		}
+		c.V = r.U64()
+	}
+	if n := r.Int(); r.Err() == nil && n != len(m.Gauges) {
+		return fmt.Errorf("telemetry snapshot has %d gauges, engine registers %d", n, len(m.Gauges))
+	}
+	for _, g := range m.Gauges {
+		if name := r.String(); r.Err() == nil && name != g.Name {
+			return fmt.Errorf("telemetry gauge %q, engine expects %q", name, g.Name)
+		}
+		g.V = r.F64()
+	}
+	if n := r.Int(); r.Err() == nil && n != len(m.Hists) {
+		return fmt.Errorf("telemetry snapshot has %d histograms, engine registers %d", n, len(m.Hists))
+	}
+	for _, h := range m.Hists {
+		if name := r.String(); r.Err() == nil && name != h.Name {
+			return fmt.Errorf("telemetry histogram %q, engine expects %q", name, h.Name)
+		}
+		counts := r.U64s()
+		if r.Err() == nil && len(counts) != len(h.Counts) {
+			return fmt.Errorf("telemetry histogram %q has %d buckets, engine expects %d", h.Name, len(counts), len(h.Counts))
+		}
+		copy(h.Counts, counts)
+		h.Total = r.U64()
+		h.Sum = r.F64()
+	}
+	if n := r.Int(); r.Err() == nil && n != len(m.Vecs) {
+		return fmt.Errorf("telemetry snapshot has %d worker vectors, engine registers %d", n, len(m.Vecs))
+	}
+	for _, v := range m.Vecs {
+		if name := r.String(); r.Err() == nil && name != v.Name {
+			return fmt.Errorf("telemetry worker vector %q, engine expects %q", name, v.Name)
+		}
+		vals := r.U64s()
+		if r.Err() == nil && len(vals) != len(v.N) {
+			return fmt.Errorf("telemetry worker vector %q spans %d workers, engine has %d", v.Name, len(vals), len(v.N))
+		}
+		copy(v.N, vals)
+	}
+	nSeries := r.Int()
+	if r.Err() == nil && (nSeries < 0 || nSeries > e.srv.batches+1) {
+		return fmt.Errorf("telemetry snapshot has implausible %d series rows", nSeries)
+	}
+	m.Series = m.Series[:0]
+	for i := 0; i < nSeries && r.Err() == nil; i++ {
+		m.Series = append(m.Series, telemetry.Sample{Epoch: r.Int(), AtMs: r.F64(), Values: r.F64s()})
+	}
+	return nil
+}
+
+// encodeTelTrace serializes one trace chunk. Chunks are frozen once full
+// (events are append-only), so a long run re-encodes only the last chunk at
+// each barrier — the recorder-chunk trick applied to the trace.
+func (e *Engine) encodeTelTrace(w *snapshot.Writer, idx int) {
+	evs := e.tel.rec.Events
+	lo := idx * telChunkLen
+	hi := lo + telChunkLen
+	if hi > len(evs) {
+		hi = len(evs)
+	}
+	chunk := evs[lo:hi]
+	w.Int(len(chunk))
+	for _, ev := range chunk {
+		w.U64(uint64(ev.Kind))
+		w.I64(int64(ev.Worker))
+		w.F64(ev.At)
+		w.F64(ev.Dur)
+		w.I64(ev.A)
+		w.I64(ev.B)
+	}
+}
+
+// restoreTelTrace loads one trace chunk, appending to the recorder.
+func (e *Engine) restoreTelTrace(r *snapshot.Reader, want int) error {
+	if n := r.Int(); r.Err() == nil && n != want {
+		return fmt.Errorf("telemetry trace chunk has %d events, meta promises %d", n, want)
+	}
+	rec := e.tel.rec
+	for j := 0; j < want && r.Err() == nil; j++ {
+		rec.Emit(telemetry.Event{
+			Kind:   telemetry.Kind(r.U64()),
+			Worker: int32(r.I64()),
+			At:     r.F64(),
+			Dur:    r.F64(),
+			A:      r.I64(),
+			B:      r.I64(),
+		})
+	}
+	return nil
+}
+
+// --- EvalBatch default warning ---
+
+// evalBatchWarnOnce rate-limits the warning to once per process: sweeps and
+// test binaries run hundreds of tiny cells and one line is enough.
+var evalBatchWarnOnce sync.Once
+
+// evalBatchDefaultTrap reports whether env is about to fall into the
+// EvalBatch-padding trap: Config.EvalBatch left at zero (so withDefaults
+// will pick 150) with a dataset split smaller than that. Evaluation pads
+// the remainder batch up to EvalBatch to keep layer shapes stable (see
+// eval.go), so a tiny split pays for 150 samples of inference per batch
+// however few it holds — up to 40× the expected eval cost on profile-sized
+// runs. The returned message names the offending split.
+func evalBatchDefaultTrap(env Env) (string, bool) {
+	if env.Cfg.EvalBatch != 0 || env.Train == nil || env.Test == nil {
+		return "", false
+	}
+	n, split := env.Train.Len(), "train"
+	if env.Test.Len() < n {
+		n, split = env.Test.Len(), "test"
+	}
+	if n >= defaultEvalBatch {
+		return "", false
+	}
+	return fmt.Sprintf(
+		"ps: EvalBatch defaults to %d but the %s split has only %d samples; "+
+			"evaluation pads every remainder batch up to EvalBatch, so tiny runs "+
+			"pay up to %dx the expected eval cost — set Config.EvalBatch explicitly",
+		defaultEvalBatch, split, n, (defaultEvalBatch+n-1)/n), true
+}
+
+// warnEvalBatchDefault emits the trap warning, once per process, to stderr.
+func warnEvalBatchDefault(env Env) {
+	if msg, ok := evalBatchDefaultTrap(env); ok {
+		evalBatchWarnOnce.Do(func() { fmt.Fprintln(os.Stderr, msg) })
+	}
+}

@@ -1,0 +1,315 @@
+package ps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lcasgd/internal/scenario"
+	"lcasgd/internal/telemetry"
+)
+
+// telemetryBytes renders a recorder the way the determinism contract is
+// stated: the Chrome trace bytes and the deterministic metrics JSON.
+func telemetryBytes(t *testing.T, rec *telemetry.Recorder, workers int) ([]byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, []telemetry.TraceRun{{Name: "run", Workers: workers, Events: rec.Events}}); err != nil {
+		t.Fatalf("render trace: %v", err)
+	}
+	return buf.Bytes(), rec.Metrics.DeterministicJSON()
+}
+
+// telemetryAlgos is the cross-family subset the telemetry suites sweep: a
+// per-worker commit path (ASGD), the barrier Apply path (SSGD), server-side
+// strategy state (LC-ASGD), and decentralized gossip (AD-PSGD).
+var telemetryAlgos = []Algo{ASGD, SSGD, LCASGD, ADPSGD}
+
+// TestTelemetryBackendByteIdentity extends the backend-equivalence contract
+// to the observability layer: the recorded trace and the deterministic
+// metrics registry must be byte-identical whether the run executed on the
+// sequential or the concurrent backend — under churn and with (sinkless)
+// checkpoint barriers in the timeline.
+func TestTelemetryBackendByteIdentity(t *testing.T) {
+	scns := append([]*scenario.Scenario{nil}, equivalenceScenarios()...)
+	for _, algo := range telemetryAlgos {
+		for _, scn := range scns {
+			name := "none"
+			if scn != nil {
+				name = scn.Name
+			}
+			label := string(algo) + "/" + name
+			run := func(kind BackendKind) (*telemetry.Recorder, Result) {
+				env := tinyEnvSeeded(algo, 4, 2)
+				env.Cfg.Backend = kind
+				env.Cfg.Scenario = scn
+				env.Cfg.CheckpointEvery = 1
+				env.Telemetry = telemetry.NewRecorder()
+				return env.Telemetry, Run(env)
+			}
+			recSeq, resSeq := run(BackendSequential)
+			recCon, resCon := run(BackendConcurrent)
+			assertResultsEqual(t, label, resSeq, resCon)
+			trSeq, mSeq := telemetryBytes(t, recSeq, 4)
+			trCon, mCon := telemetryBytes(t, recCon, 4)
+			if !bytes.Equal(trSeq, trCon) {
+				t.Fatalf("%s: trace bytes differ across backends (%d vs %d bytes)", label, len(trSeq), len(trCon))
+			}
+			if !bytes.Equal(mSeq, mCon) {
+				t.Fatalf("%s: metrics bytes differ across backends:\n%s\n%s", label, mSeq, mCon)
+			}
+			if len(recSeq.Events) == 0 {
+				t.Fatalf("%s: run recorded no events", label)
+			}
+		}
+	}
+}
+
+// TestTelemetryResumeByteIdentity extends the resume contract: telemetry
+// state is checkpointed with the run (sections secTelMetrics/secTelTrace),
+// so a run killed at a barrier and resumed with a fresh recorder must end
+// with trace and metrics bytes identical to the uninterrupted run's — the
+// restored prefix plus identically replayed remainder.
+func TestTelemetryResumeByteIdentity(t *testing.T) {
+	for _, algo := range telemetryAlgos {
+		for _, scn := range append([]*scenario.Scenario{nil}, equivalenceScenarios()[0]) {
+			name := "none"
+			if scn != nil {
+				name = scn.Name
+			}
+			label := string(algo) + "/" + name
+			env := ckptEnv(algo, 4, 3, BackendSequential, scn)
+			env.Telemetry = telemetry.NewRecorder()
+			full, cks := runCapturing(env)
+			if len(cks) == 0 {
+				t.Fatalf("%s: no checkpoints emitted", label)
+			}
+			wantTrace, wantMetrics := telemetryBytes(t, env.Telemetry, 4)
+			for _, ci := range []int{0, len(cks) - 1} {
+				renv := ckptEnv(algo, 4, 3, BackendConcurrent, scn)
+				renv.Telemetry = telemetry.NewRecorder()
+				res, err := Resume(renv, cks[ci].Data)
+				if err != nil {
+					t.Fatalf("%s: resume from barrier %d: %v", label, ci, err)
+				}
+				assertResultsEqual(t, label, full, res)
+				gotTrace, gotMetrics := telemetryBytes(t, renv.Telemetry, 4)
+				if !bytes.Equal(wantTrace, gotTrace) {
+					t.Fatalf("%s: trace bytes differ after resume from barrier %d (%d vs %d bytes)",
+						label, ci, len(wantTrace), len(gotTrace))
+				}
+				if !bytes.Equal(wantMetrics, gotMetrics) {
+					t.Fatalf("%s: metrics bytes differ after resume from barrier %d:\n%s\n%s",
+						label, ci, wantMetrics, gotMetrics)
+				}
+			}
+		}
+	}
+}
+
+// TestTelemetryRefusesPresenceMismatch pins the failure mode a silent
+// restore would hide: resuming a telemetry-free checkpoint with a recorder
+// attached (or vice versa) must error, so callers fall back to a full rerun
+// instead of producing telemetry missing its pre-barrier prefix.
+func TestTelemetryRefusesPresenceMismatch(t *testing.T) {
+	env := ckptEnv(ASGD, 2, 2, BackendSequential, nil)
+	_, cks := runCapturing(env) // no recorder attached
+	renv := ckptEnv(ASGD, 2, 2, BackendSequential, nil)
+	renv.Telemetry = telemetry.NewRecorder()
+	if _, err := Resume(renv, cks[0].Data); err == nil || !strings.Contains(err.Error(), "telemetry presence") {
+		t.Fatalf("resume with recorder onto telemetry-free checkpoint: err = %v, want presence error", err)
+	}
+	// The failed attempt must roll the recorder back to pristine, so the
+	// caller's fallback — a full re-run with the same recorder — binds it
+	// cleanly and records the whole run (the trainer's resume path does
+	// exactly this).
+	if renv.Telemetry.Bound() {
+		t.Fatal("failed resume left the recorder bound")
+	}
+	Run(renv)
+	if !renv.Telemetry.Bound() || len(renv.Telemetry.Events) == 0 {
+		t.Fatal("fallback rerun did not record into the rolled-back recorder")
+	}
+
+	env2 := ckptEnv(ASGD, 2, 2, BackendSequential, nil)
+	env2.Telemetry = telemetry.NewRecorder()
+	_, cks2 := runCapturing(env2)
+	renv2 := ckptEnv(ASGD, 2, 2, BackendSequential, nil)
+	if _, err := Resume(renv2, cks2[0].Data); err == nil || !strings.Contains(err.Error(), "telemetry presence") {
+		t.Fatalf("resume without recorder onto telemetry checkpoint: err = %v, want presence error", err)
+	}
+}
+
+// TestTelemetryIsPassive pins the observability layer's first law: a run
+// with a recorder attached returns the bit-identical Result of the same run
+// without one, churn and checkpoint barriers included.
+func TestTelemetryIsPassive(t *testing.T) {
+	for _, algo := range telemetryAlgos {
+		env := tinyEnvSeeded(algo, 4, 2)
+		env.Cfg.Scenario = equivalenceScenarios()[0]
+		env.Cfg.CheckpointEvery = 1
+		bare := Run(env)
+		env2 := tinyEnvSeeded(algo, 4, 2)
+		env2.Cfg.Scenario = equivalenceScenarios()[0]
+		env2.Cfg.CheckpointEvery = 1
+		env2.Telemetry = telemetry.NewRecorder()
+		assertResultsEqual(t, string(algo), bare, Run(env2))
+	}
+}
+
+// TestTelemetryScenarioEventsInTrace pins the churn-visibility acceptance
+// criterion: every applied scenario event appears as a typed trace event on
+// its worker lane, partition-window commit drops are traced and counted,
+// and the scenario counter agrees with the Result's.
+func TestTelemetryScenarioEventsInTrace(t *testing.T) {
+	scn := &scenario.Scenario{
+		Name: "churn",
+		Events: []scenario.Event{
+			{At: 30, Kind: scenario.PhaseShift, Worker: -1, CompScale: 1.5, CommScale: 1.5},
+			{At: 40, Kind: scenario.Crash, Worker: 1},
+			{At: 50, Kind: scenario.Partition, Worker: 2},
+			{At: 120, Kind: scenario.Recover, Worker: 1},
+			{At: 200, Kind: scenario.Heal, Worker: 2},
+		},
+	}
+	env := tinyEnvSeeded(ASGD, 4, 2)
+	env.Cfg.Scenario = scn
+	env.Telemetry = telemetry.NewRecorder()
+	res := Run(env)
+
+	counts := map[telemetry.Kind]int{}
+	for _, ev := range env.Telemetry.Events {
+		counts[ev.Kind]++
+	}
+	for _, k := range []telemetry.Kind{
+		telemetry.KPhaseShift, telemetry.KCrash, telemetry.KPartition,
+		telemetry.KRecover, telemetry.KHeal,
+	} {
+		if counts[k] != 1 {
+			t.Fatalf("trace has %d %v events, want 1", counts[k], k)
+		}
+	}
+	if counts[telemetry.KCommit] == 0 || counts[telemetry.KLaunch] == 0 || counts[telemetry.KDispatch] == 0 {
+		t.Fatalf("trace missing lifecycle events: %v", counts)
+	}
+	if counts[telemetry.KDrop] == 0 {
+		t.Fatal("partition window dropped no commits in the trace")
+	}
+	m := env.Telemetry.Metrics
+	var scnCounter *telemetry.Counter
+	var drops *telemetry.WorkerVec
+	for _, c := range m.Counters {
+		if c.Name == "scenario_events_applied" {
+			scnCounter = c
+		}
+	}
+	for _, v := range m.Vecs {
+		if v.Name == "partition_drops_per_worker" {
+			drops = v
+		}
+	}
+	if scnCounter == nil || int(scnCounter.V) != res.ScenarioEvents {
+		t.Fatalf("scenario counter %v, result says %d", scnCounter, res.ScenarioEvents)
+	}
+	if drops == nil || drops.N[2] == 0 {
+		t.Fatalf("partitioned worker 2 recorded no drops: %v", drops)
+	}
+	for _, ev := range env.Telemetry.Events {
+		if ev.Kind == telemetry.KCommit && ev.Dur <= 0 {
+			t.Fatalf("commit span without duration: %+v", ev)
+		}
+	}
+}
+
+// TestTelemetryBarrierEventsCheckpointed pins that barrier spans and drain
+// durations are observed before the snapshot serializes: a run with
+// checkpoint barriers must trace one KBarrier span and one KCheckpoint
+// instant per barrier, with the barrier counter to match.
+func TestTelemetryBarrierEventsCheckpointed(t *testing.T) {
+	env := ckptEnv(ASGD, 4, 3, BackendSequential, nil)
+	env.Telemetry = telemetry.NewRecorder()
+	_, cks := runCapturing(env)
+	barriers, ckpts := 0, 0
+	for _, ev := range env.Telemetry.Events {
+		switch ev.Kind {
+		case telemetry.KBarrier:
+			barriers++
+		case telemetry.KCheckpoint:
+			ckpts++
+		}
+	}
+	if barriers != len(cks) || ckpts != len(cks) {
+		t.Fatalf("traced %d barriers, %d checkpoints; sink saw %d", barriers, ckpts, len(cks))
+	}
+	var hist *telemetry.Histogram
+	for _, h := range env.Telemetry.Metrics.Hists {
+		if h.Name == "barrier_drain_ms" {
+			hist = h
+		}
+	}
+	if hist == nil || int(hist.Total) != len(cks) {
+		t.Fatalf("drain histogram %+v, want %d observations", hist, len(cks))
+	}
+	// Measured meters exist and saw the emissions, but stay out of the
+	// deterministic dump (they are wall-clock).
+	sawBytes := false
+	for _, mt := range env.Telemetry.Meters() {
+		if (mt.Name == "ckpt_full_bytes" || mt.Name == "ckpt_delta_bytes") && mt.N > 0 {
+			sawBytes = true
+		}
+	}
+	if !sawBytes {
+		t.Fatal("no checkpoint byte meters recorded")
+	}
+}
+
+// TestEvalBatchDefaultTrap pins the tiny-dataset warning predicate: it
+// fires only when EvalBatch is left to default against a split smaller
+// than the default batch.
+func TestEvalBatchDefaultTrap(t *testing.T) {
+	env := tinyEnvSeeded(ASGD, 1, 1) // test split: 80 < 150
+	msg, ok := evalBatchDefaultTrap(env)
+	if !ok {
+		t.Fatal("tiny env did not trip the trap")
+	}
+	if !strings.Contains(msg, "test split has only 80 samples") || !strings.Contains(msg, "2x") {
+		t.Fatalf("trap message wrong: %q", msg)
+	}
+	env.Cfg.EvalBatch = 80
+	if msg, ok := evalBatchDefaultTrap(env); ok {
+		t.Fatalf("explicit EvalBatch still warned: %q", msg)
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the steady-state commit path with the
+// telemetry layer disabled (nil recorder — must stay 0 allocs/op, the
+// CI bench-smoke guard) and enabled (the trace append + instrument cost).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := tinyEnvSeeded(ASGD, 2, 2)
+			env.Cfg = env.Cfg.withDefaults()
+			if enabled {
+				env.Telemetry = telemetry.NewRecorder()
+			}
+			e := newEngine(env, strategyFor(env.Cfg))
+			defer e.backend.Close()
+			e.strategy.Setup(e)
+			e.srv.target = 0 // park relaunches so the commit path dominates
+			grad := make([]float64, e.NParams())
+			for i := range grad {
+				grad[i] = 1e-3
+			}
+			e.Commit(0, grad, 0) // warm: first commit records the epoch-0 point
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Commit(0, grad, 0)
+			}
+		})
+	}
+}

@@ -416,6 +416,14 @@ func writeFileAtomic(path string, data []byte) error {
 	return syncDir(dir)
 }
 
+// WriteFileAtomic is writeFileAtomic for sibling artifact writers (trace
+// and metrics dumps next to an experiment store): the same temp-file +
+// fsync + rename discipline, so a killed invocation leaves either the
+// previous complete artifact or the new one, never a truncated mix.
+func WriteFileAtomic(path string, data []byte) error {
+	return writeFileAtomic(path, data)
+}
+
 // syncDir fsyncs a directory, making its entries (a just-committed rename)
 // durable.
 func syncDir(dir string) error {

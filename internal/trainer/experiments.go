@@ -45,12 +45,12 @@ func Fig2(p Profile, seed uint64) CurveSet {
 	pool := newPool(p)
 	defer pool.close()
 	cs := CurveSet{Profile: p.Name, Workers: 0, Results: map[ps.Algo]ps.Result{}}
-	cells := []curveCell{{ps.SGD, pool.submit(func() ps.Result {
+	cells := []curveCell{{ps.SGD, pool.submit(cellKey(p, ps.SGD, 1, core.BNAsync, seed, nil), func() ps.Result {
 		return RunCell(p, ps.SGD, 1, core.BNAsync, seed)
 	})}}
 	for _, m := range WorkerCounts {
 		key := ps.Algo(fmt.Sprintf("DC-ASGD-%d", m))
-		cells = append(cells, curveCell{key, pool.submit(func() ps.Result {
+		cells = append(cells, curveCell{key, pool.submit(cellKey(p, ps.DCASGD, m, core.BNAsync, seed, nil), func() ps.Result {
 			return RunCell(p, ps.DCASGD, m, core.BNAsync, seed)
 		})})
 	}
@@ -65,11 +65,11 @@ func Fig3Panel(p Profile, workers int, seed uint64) CurveSet {
 	pool := newPool(p)
 	defer pool.close()
 	cs := CurveSet{Profile: p.Name, Workers: workers, Results: map[ps.Algo]ps.Result{}}
-	cells := []curveCell{{ps.SGD, pool.submit(func() ps.Result {
+	cells := []curveCell{{ps.SGD, pool.submit(cellKey(p, ps.SGD, 1, core.BNAsync, seed, nil), func() ps.Result {
 		return RunCell(p, ps.SGD, 1, core.BNAsync, seed)
 	})}}
 	for _, a := range DistributedAlgos {
-		cells = append(cells, curveCell{a, pool.submit(func() ps.Result {
+		cells = append(cells, curveCell{a, pool.submit(cellKey(p, a, workers, core.BNAsync, seed, nil), func() ps.Result {
 			return RunCell(p, a, workers, core.BNAsync, seed)
 		})})
 	}
@@ -86,7 +86,7 @@ func Fig5Panel(p Profile, workers int, seed uint64) CurveSet {
 	cs := CurveSet{Profile: p.Name, Workers: workers, Results: map[ps.Algo]ps.Result{}}
 	var cells []curveCell
 	for _, a := range DistributedAlgos {
-		cells = append(cells, curveCell{a, pool.submit(func() ps.Result {
+		cells = append(cells, curveCell{a, pool.submit(cellKey(p, a, workers, core.BNAsync, seed, nil), func() ps.Result {
 			return RunCell(p, a, workers, core.BNAsync, seed)
 		})})
 	}
@@ -164,7 +164,7 @@ func Table1(p Profile, includeSGD bool, seeds []uint64) (rows []Table1Row, basel
 	submitMean := func(algo ps.Algo, workers int, mode core.BNMode) []*cellFuture {
 		futs := make([]*cellFuture, len(seeds))
 		for i, s := range seeds {
-			futs[i] = pool.submit(func() ps.Result {
+			futs[i] = pool.submit(cellKey(p, algo, workers, mode, s, nil), func() ps.Result {
 				return RunCell(p, algo, workers, mode, s)
 			})
 		}

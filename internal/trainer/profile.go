@@ -66,12 +66,23 @@ type Profile struct {
 
 	// Progress, when non-nil, is called by sweep pools after every completed
 	// cell with the number of cells finished so far, the number submitted so
-	// far, and the wall time since the sweep's pool was created (cmd/lcexp
-	// -v). Pooled sweeps invoke it from worker goroutines under the pool's
-	// lock, so implementations need no synchronization of their own; they
-	// must not block and should write to stderr, keeping stdout (tables,
-	// charts, CSV) byte-identical with and without progress reporting.
-	Progress func(done, total int, elapsed time.Duration)
+	// far, the wall time since the sweep's pool was created, and the
+	// completed cell's ps.ConfigKey (cmd/lcexp -v uses the key prefix to
+	// name the cell and derives an ETA from done/total/elapsed). Pooled
+	// sweeps invoke it from worker goroutines under the pool's lock, so
+	// implementations need no synchronization of their own; they must not
+	// block and should write to stderr, keeping stdout (tables, charts, CSV)
+	// byte-identical with and without progress reporting.
+	Progress func(done, total int, elapsed time.Duration, key string)
+
+	// Telemetry, when non-nil, attaches a fresh telemetry.Recorder to every
+	// cell run under this profile (deduplicated by ps.ConfigKey — a baseline
+	// cell shared by several sweeps records once) and collects them for the
+	// invocation-wide trace/metrics dumps (cmd/lcexp -trace-out,
+	// -metrics-out). Telemetry is passive: results are bit-identical with
+	// and without it, and the collected output is byte-identical at any
+	// Jobs value.
+	Telemetry *Telemetry
 
 	// Store, when non-nil, persists every cell run under this profile into
 	// the experiment store: config, checkpoints at every CkptEvery epochs,
@@ -188,6 +199,17 @@ func cellConfig(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed u
 	}
 }
 
+// cellKey is the ps.ConfigKey the cell submitted with these arguments will
+// run under, mutations applied — computed at submission time so progress
+// reporting and telemetry can name the cell without waiting for it.
+func cellKey(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64, mutate func(*ps.Config)) string {
+	cfg := cellConfig(p, algo, workers, bnMode, seed)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return ps.ConfigKey(cfg)
+}
+
 // RunCell executes one experiment cell under the profile. Dataset
 // generation is deterministic, so repeated cells see identical data.
 func RunCell(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed uint64) ps.Result {
@@ -206,6 +228,12 @@ func RunCellCfg(p Profile, algo ps.Algo, workers int, bnMode core.BNMode, seed u
 		mutate(&cfg)
 	}
 	env := ps.Env{Train: train, Test: test, Build: p.Model.Build, Cfg: cfg}
+	if p.Telemetry != nil && !p.Render {
+		// attach returns nil for a duplicate cell (same ConfigKey already
+		// recording elsewhere in the invocation) — the run then simply
+		// carries no recorder, which is indistinguishable by results.
+		env.Telemetry = p.Telemetry.attach(cfg, ps.ConfigKey(cfg))
+	}
 	if p.Store != nil {
 		return runCellPersisted(p, env)
 	}

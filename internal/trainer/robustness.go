@@ -125,14 +125,15 @@ func Robustness(p Profile, workers int, seed uint64, scns []scenario.Scenario, o
 					mut := v.mut
 					topo := entry.Topology
 					cellSeed := seed + uint64(s)
-					cell.seeds[s] = pool.submit(func() ps.Result {
-						return RunCellCfg(p, entry.Algo, workers, core.BNAsync, cellSeed, func(c *ps.Config) {
-							c.Scenario = scn
-							c.Topology = topo
-							if mut != nil {
-								mut(c)
-							}
-						})
+					mutate := func(c *ps.Config) {
+						c.Scenario = scn
+						c.Topology = topo
+						if mut != nil {
+							mut(c)
+						}
+					}
+					cell.seeds[s] = pool.submit(cellKey(p, entry.Algo, workers, core.BNAsync, cellSeed, mutate), func() ps.Result {
+						return RunCellCfg(p, entry.Algo, workers, core.BNAsync, cellSeed, mutate)
 					})
 				}
 				cells = append(cells, cell)

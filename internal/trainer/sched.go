@@ -47,7 +47,7 @@ type cellPool struct {
 	// Progress accounting (Profile.Progress): completions are counted under
 	// progMu because pooled cells finish on worker goroutines; the callback
 	// runs under the same lock, so sinks need no synchronization.
-	progress  func(done, total int, elapsed time.Duration)
+	progress  func(done, total int, elapsed time.Duration, key string)
 	started   time.Time
 	progMu    sync.Mutex
 	submitted int
@@ -80,18 +80,19 @@ func newPool(p Profile) *cellPool {
 	}
 }
 
-// cellDone counts a completed cell and emits a progress report. The total is
-// the number of cells submitted so far: sweeps submit their whole grid
-// before the first pooled cell can finish, so pooled reports show the true
-// denominator, while inline (Jobs <= 1) reports grow it as the sweep walks
-// its loops — either way the line says how far along the sweep is.
-func (cp *cellPool) cellDone() {
+// cellDone counts a completed cell and emits a progress report naming it by
+// config key. The total is the number of cells submitted so far: sweeps
+// submit their whole grid before the first pooled cell can finish, so
+// pooled reports show the true denominator, while inline (Jobs <= 1)
+// reports grow it as the sweep walks its loops — either way the line says
+// how far along the sweep is.
+func (cp *cellPool) cellDone(key string) {
 	if cp.progress == nil {
 		return
 	}
 	cp.progMu.Lock()
 	cp.completed++
-	cp.progress(cp.completed, cp.submitted, time.Since(cp.started))
+	cp.progress(cp.completed, cp.submitted, time.Since(cp.started), key)
 	cp.progMu.Unlock()
 }
 
@@ -112,12 +113,13 @@ type cellFuture struct {
 	pan  any
 }
 
-// submit schedules fn. Sequential pools run it inline — submission order IS
-// execution order, exactly the old loops. Pooled submission runs fn on a
+// submit schedules fn under the cell's config key (progress reporting names
+// completed cells by it). Sequential pools run fn inline — submission order
+// IS execution order, exactly the old loops. Pooled submission runs fn on a
 // goroutine gated by the jobs semaphore; a panic inside fn (e.g. an
 // experiment-store failure) is captured and re-raised from wait, so a
 // failing cell still aborts the sweep like it did sequentially.
-func (cp *cellPool) submit(fn func() ps.Result) *cellFuture {
+func (cp *cellPool) submit(key string, fn func() ps.Result) *cellFuture {
 	f := &cellFuture{done: make(chan struct{})}
 	cp.progMu.Lock()
 	cp.submitted++
@@ -127,7 +129,7 @@ func (cp *cellPool) submit(fn func() ps.Result) *cellFuture {
 		// the submission site immediately, exactly like the old loops.
 		f.res = fn()
 		close(f.done)
-		cp.cellDone()
+		cp.cellDone(key)
 		return f
 	}
 	go func() {
@@ -136,7 +138,7 @@ func (cp *cellPool) submit(fn func() ps.Result) *cellFuture {
 			f.pan = recover()
 			<-cp.sem
 			close(f.done)
-			cp.cellDone()
+			cp.cellDone(key)
 		}()
 		f.res = fn()
 	}()

@@ -189,7 +189,7 @@ func TestPoolPanicPropagates(t *testing.T) {
 	func() {
 		pool := newPool(p)
 		defer pool.close()
-		f := pool.submit(func() ps.Result { panic("boom") })
+		f := pool.submit("boom-cell", func() ps.Result { panic("boom") })
 		defer func() {
 			if r := recover(); r == nil {
 				t.Fatal("cell panic was swallowed")
@@ -199,7 +199,7 @@ func TestPoolPanicPropagates(t *testing.T) {
 	}()
 	// The lock must be free: a second pool acquires it without blocking.
 	pool := newPool(p)
-	pool.submit(func() ps.Result { return ps.Result{} }).wait()
+	pool.submit("noop-cell", func() ps.Result { return ps.Result{} }).wait()
 	pool.close()
 }
 
